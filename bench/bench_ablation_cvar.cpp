@@ -1,0 +1,33 @@
+// Ablation A2 (paper §IV-D): sweep of the CVaR tail fraction α for the
+// hybrid model. α = 1 is the plain expectation; the paper fixes α = 0.3.
+#include <cstdio>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/instances.hpp"
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Ablation A2: CVaR coefficient sweep (hybrid, ibmq_toronto)");
+
+  const graph::Instance inst = graph::paper_task1();
+  const backend::FakeBackend dev = backend::make_toronto();
+
+  Table t({"alpha", "hybrid CVaR-AR", "gate CVaR-AR"});
+  for (const double alpha : {0.1, 0.2, 0.3, 0.5, 1.0}) {
+    std::fprintf(stderr, "[A2] alpha=%.1f...\n", alpha);
+    core::RunConfig cfg = benchutil::base_config();
+    cfg.gate_optimization = true;
+    cfg.m3 = true;
+    cfg.cvar = true;
+    cfg.cvar_alpha = alpha;
+    const auto hybrid = core::run_qaoa(inst, dev, core::ModelKind::Hybrid, cfg);
+    const auto gate = core::run_qaoa(inst, dev, core::ModelKind::GateLevel, cfg);
+    t.add_row({Table::num(alpha, 1), Table::pct(hybrid.ar), Table::pct(gate.ar)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("smaller alpha focuses the optimizer on the best shots: the CVaR-AR rises\n"
+              "as alpha decreases (the paper reports 84.3%% at alpha = 0.3 on toronto).\n");
+  return 0;
+}

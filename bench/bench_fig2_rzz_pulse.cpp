@@ -1,0 +1,38 @@
+// Reproduces Fig. 2(f): the pulse-level realization of the QAOA RZZ gate —
+// drive ("D") and control ("U") channel schedules — for both the standard
+// CX·RZ·CX lowering and the pulse-efficient direct-CR form.
+#include <cstdio>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "transpile/lowering.hpp"
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Fig. 2(f): compiled RZZ gate at the pulse level");
+
+  const backend::FakeBackend dev = backend::make_toronto();
+  qc::Circuit c(27);
+  c.rzz(1, 4, 0.8);
+
+  transpile::LoweringOptions standard;
+  standard.include_measure = false;
+  const auto lowered = transpile::lower_to_pulses(c, dev, standard);
+  std::printf("standard lowering, RZZ = CX · RZ · CX:\n%s", lowered.schedule.draw().c_str());
+  std::printf("duration %d dt (%.1f ns), %zu pulses\n\n", lowered.schedule.duration(),
+              lowered.schedule.duration() * pulse::kDtNs, lowered.schedule.play_count());
+
+  transpile::LoweringOptions efficient = standard;
+  efficient.pulse_efficient_rzz = true;
+  const auto direct = transpile::lower_to_pulses(c, dev, efficient);
+  std::printf("pulse-efficient lowering, one echoed CR (+ basis changes):\n%s",
+              direct.schedule.draw().c_str());
+  std::printf("duration %d dt (%.1f ns), %zu pulses\n\n", direct.schedule.duration(),
+              direct.schedule.duration() * pulse::kDtNs, direct.schedule.play_count());
+
+  std::printf("redundancy removed by working below the gate level: %.0f%% shorter, "
+              "%zu fewer pulses\n",
+              100.0 * (1.0 - double(direct.schedule.duration()) / lowered.schedule.duration()),
+              lowered.schedule.play_count() - direct.schedule.play_count());
+  return 0;
+}

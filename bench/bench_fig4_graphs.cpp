@@ -1,0 +1,31 @@
+// Reproduces Fig. 4: the three Max-Cut benchmark instances with their
+// brute-force optima (9, 8, 10) and classical baselines for context.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/instances.hpp"
+#include "graph/maxcut.hpp"
+
+int main() {
+  using namespace hgp;
+  benchutil::header("Fig. 4: QAOA Max-Cut benchmark graphs");
+
+  Table t({"task", "graph", "n", "m", "Max-Cut (paper)", "Max-Cut (brute force)",
+           "random-cut E[C]", "local search"});
+  Rng rng(7);
+  int task = 1;
+  for (const auto& inst : graph::paper_instances()) {
+    const auto exact = graph::max_cut_brute_force(inst.graph);
+    const auto local = graph::max_cut_local_search(inst.graph, rng);
+    t.add_row({std::to_string(task++), inst.name, std::to_string(inst.graph.num_vertices()),
+               std::to_string(inst.graph.num_edges()), Table::num(inst.max_cut, 0),
+               Table::num(exact.value, 0), Table::num(graph::random_cut_expectation(inst.graph), 1),
+               Table::num(local.value, 0)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  for (const auto& inst : graph::paper_instances())
+    std::printf("%s\n", inst.graph.str().c_str());
+  return 0;
+}

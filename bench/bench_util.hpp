@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses (bench_*). Each binary
+// regenerates one table or figure of the paper; environment variables allow
+// scaling the budget down for quick smoke runs:
+//   HGP_SHOTS  - shots per cost evaluation (default 1024, as in the paper)
+//   HGP_EVALS  - COBYLA evaluation budget (default 50; pulse-level uses 4x)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/workflow.hpp"
+
+namespace hgp::benchutil {
+
+inline std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::stoul(v)) : fallback;
+}
+
+inline core::RunConfig base_config() {
+  core::RunConfig cfg;
+  cfg.shots = env_or("HGP_SHOTS", 1024);
+  cfg.max_evaluations = static_cast<int>(env_or("HGP_EVALS", 50));
+  return cfg;
+}
+
+/// Mean AR over HGP_SEEDS (default 2) independent training repetitions —
+/// smooths single-run scatter while keeping the paper's protocol per run.
+inline double mean_ar(const graph::Instance& inst, const backend::FakeBackend& dev,
+                      core::ModelKind kind, core::RunConfig cfg) {
+  const std::size_t seeds = env_or("HGP_SEEDS", 2);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    cfg.seed = 2023 + 101 * s;
+    cfg.model.seed = 7 + 13 * s;
+    sum += core::run_qaoa(inst, dev, kind, cfg).ar;
+  }
+  return sum / static_cast<double>(seeds);
+}
+
+inline void header(const char* title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace hgp::benchutil

@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// statevector gate application, pulse-propagator stepping, SABRE routing,
+// M3 mitigation solves, and the Hermitian eigensolver.
+#include <benchmark/benchmark.h>
+
+#include "backend/presets.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "graph/instances.hpp"
+#include "linalg/eig.hpp"
+#include "mitigation/m3.hpp"
+#include "pulsesim/simulator.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/sabre.hpp"
+
+using namespace hgp;
+
+static void BM_StatevectorCx(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Statevector sv(n);
+  const la::CMat cx = qc::gate_matrix(qc::GateKind::CX);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    sv.apply_matrix(cx, {q, (q + 1) % n});
+    q = (q + 1) % (n - 1);
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatevectorCx)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+static void BM_StatevectorSample(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  qc::Circuit c(sv.num_qubits());
+  for (std::size_t q = 0; q < sv.num_qubits(); ++q) c.h(q);
+  sv.run(c);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sv.sample(1024, rng));
+}
+BENCHMARK(BM_StatevectorSample)->Arg(6)->Arg(10);
+
+static void BM_PulsePropagatorCx(benchmark::State& state) {
+  const backend::FakeBackend dev = backend::make_toronto();
+  const auto sub = dev.subsystem({0, 1}, true);
+  const pulse::Schedule sched =
+      backend::FakeBackend::remap_schedule(dev.calibrations().cx(0, 1), sub.remap);
+  for (auto _ : state) {
+    psim::PulseSystem sys = dev.subsystem({0, 1}, true).system;
+    const psim::PulseSimulator sim(std::move(sys), psim::Integrator::Exact, 1,
+                                   static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(sim.unitary(sched));
+  }
+  state.SetLabel("stride=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PulsePropagatorCx)->Arg(1)->Arg(4);
+
+static void BM_SabreRouting(benchmark::State& state) {
+  const auto inst = graph::paper_task1();
+  const qc::Circuit qaoa = core::qaoa_circuit(inst.graph, 1).bound({0.6, 0.4});
+  const auto coupling = backend::heavy_hex_27();
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(transpile::sabre_route(qaoa, coupling, rng, 1, {0, 1, 4, 7, 10, 12}));
+}
+BENCHMARK(BM_SabreRouting);
+
+static void BM_M3Mitigate(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<noise::ReadoutError> errors(6, {0.02, 0.04});
+  sim::Counts counts;
+  for (int i = 0; i < state.range(0); ++i)
+    counts[static_cast<std::uint64_t>(rng.uniform_int(0, 63))] += 16;
+  const mit::M3Mitigator m3(errors);
+  for (auto _ : state) benchmark::DoNotOptimize(m3.mitigate(counts));
+  state.SetLabel(std::to_string(counts.size()) + " strings");
+}
+BENCHMARK(BM_M3Mitigate)->Arg(16)->Arg(48);
+
+static void BM_Eigh(benchmark::State& state) {
+  Rng rng(3);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  la::CMat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.normal();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      a(i, j) = la::cxd{rng.normal(), rng.normal()};
+      a(j, i) = std::conj(a(i, j));
+    }
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(la::eigh(a));
+}
+BENCHMARK(BM_Eigh)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

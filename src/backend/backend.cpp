@@ -1,0 +1,195 @@
+#include "backend/backend.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hgp::backend {
+
+namespace {
+/// Coherent-miscalibration magnitudes shared by all fake backends. These are
+/// the "what calibration does not know" knobs: they set how much a fixed
+/// gate-level compilation is off, and hence how much a trainable pulse
+/// ansatz can win back (paper §IV-A).
+constexpr double kDriveRateSpread = 0.05;   // fractional qubit-to-qubit spread
+constexpr double kFreqDriftSigmaGhz = 4.5e-5;  // ~45 kHz residual frame drift
+constexpr double kGainSigma = 0.02;         // 2% amplitude miscalibration
+constexpr double kMuZxSpread = 0.10;
+constexpr double kZzSigmaGhz = 6e-5;        // 60 kHz static ZZ
+constexpr double kCxPhaseSigma = 0.15;      // rad; imperfect echo phase corrections
+}  // namespace
+
+FakeBackend::FakeBackend(BackendInfo info, CouplingMap coupling, std::uint64_t seed)
+    : info_(std::move(info)), coupling_(std::move(coupling)) {
+  HGP_REQUIRE(coupling_.num_qubits() == info_.num_qubits,
+              "FakeBackend: coupling map size mismatch");
+  Rng rng(seed);
+
+  const int readout_dt =
+      ((static_cast<int>(std::lround(info_.readout_ns / pulse::kDtNs)) + 15) / 16) * 16;
+
+  noise_.qubits.resize(info_.num_qubits);
+  for (std::size_t q = 0; q < info_.num_qubits; ++q) {
+    pulse::QubitCalibration qc;
+    qc.drive_rate_ghz = 0.11 * (1.0 + kDriveRateSpread * rng.normal());
+    qc.readout_duration = readout_dt;
+    cal_.set_qubit(q, qc);
+
+    noise::QubitNoise& qn = noise_.qubits[q];
+    qn.t1_us = info_.t1_us * (1.0 + 0.1 * rng.normal());
+    qn.t2_us = std::min(info_.t2_us * (1.0 + 0.1 * rng.normal()), 2.0 * qn.t1_us);
+    qn.readout.p1_given_0 = 0.8 * info_.readout_error;
+    qn.readout.p0_given_1 = 1.2 * info_.readout_error;
+    qn.freq_drift_ghz = kFreqDriftSigmaGhz * rng.normal();
+    qn.drive_gain = 1.0 + kGainSigma * rng.normal();
+  }
+  noise_.dep_per_1q_pulse = info_.x_error;
+  // In-circuit two-qubit error exceeds the isolated RB number (Table I) due
+  // to crosstalk and spectator effects; 1.5x is the usual literature-scale
+  // inflation.
+  noise_.dep_per_2q_block = 1.5 * info_.cx_error;
+  noise_.zz_crosstalk_ghz = kZzSigmaGhz;
+
+  // Directed CR calibrations: one control channel per direction per edge.
+  std::size_t u = 0;
+  for (const auto& [a, b] : coupling_.edges()) {
+    pulse::CrCalibration cr;
+    cr.mu_zx_ghz = 0.0030 * (1.0 + kMuZxSpread * rng.normal());
+    cr.mu_ix_ghz = 0.0006 * (1.0 + 0.3 * rng.normal());
+    cr.mu_zi_ghz = 0.0009 * (1.0 + 0.3 * rng.normal());
+    cal_.set_cr(a, b, u++, cr);
+    pulse::CrCalibration cr2 = cr;
+    cr2.mu_zx_ghz = 0.0030 * (1.0 + kMuZxSpread * rng.normal());
+    cal_.set_cr(b, a, u++, cr2);
+    zz_[{std::min(a, b), std::max(a, b)}] = kZzSigmaGhz * rng.normal();
+    cx_phase_err_[{a, b}] = {kCxPhaseSigma * rng.normal(), kCxPhaseSigma * rng.normal()};
+    cx_phase_err_[{b, a}] = {kCxPhaseSigma * rng.normal(), kCxPhaseSigma * rng.normal()};
+  }
+}
+
+std::pair<double, double> FakeBackend::cx_phase_error(std::size_t control,
+                                                      std::size_t target) const {
+  const auto it = cx_phase_err_.find({control, target});
+  return it == cx_phase_err_.end() ? std::pair<double, double>{0.0, 0.0} : it->second;
+}
+
+double FakeBackend::zz_crosstalk(std::size_t a, std::size_t b) const {
+  const auto it = zz_.find({std::min(a, b), std::max(a, b)});
+  return it == zz_.end() ? 0.0 : it->second;
+}
+
+int FakeBackend::gate_duration_dt(const qc::Op& op) const {
+  using qc::GateKind;
+  switch (op.kind) {
+    case GateKind::Barrier:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::I:
+      return 0;  // virtual or phase-only
+    case GateKind::X:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::RX:
+      // RX lowers to two SX pulses in the {rz, sx, x, cx} basis.
+      return op.kind == GateKind::RX ? 2 * cal_.qubit(op.qubits[0]).sx_duration
+                                     : cal_.qubit(op.qubits[0]).sx_duration;
+    case GateKind::H:
+    case GateKind::RY:
+    case GateKind::Y:
+    case GateKind::U3:
+      return 2 * cal_.qubit(op.qubits[0]).sx_duration;
+    case GateKind::CX:
+    case GateKind::CZ:
+      return cal_.cx(op.qubits[0], op.qubits[1]).duration();
+    case GateKind::RZZ:
+      // Standard decomposition: CX · RZ · CX.
+      return 2 * cal_.cx(op.qubits[0], op.qubits[1]).duration();
+    case GateKind::SWAP:
+      return 3 * cal_.cx(op.qubits[0], op.qubits[1]).duration();
+    case GateKind::RXX:
+      return 2 * cal_.cx(op.qubits[0], op.qubits[1]).duration() +
+             4 * cal_.qubit(op.qubits[0]).sx_duration;
+    case GateKind::Delay:
+      return static_cast<int>(op.params[0].value());
+    case GateKind::Measure:
+      return readout_duration_dt();
+  }
+  return 0;
+}
+
+int FakeBackend::readout_duration_dt() const { return cal_.qubit(0).readout_duration; }
+
+FakeBackend::Subsystem FakeBackend::subsystem(const std::vector<std::size_t>& qubits,
+                                              bool with_coherent_noise) const {
+  HGP_REQUIRE(!qubits.empty(), "subsystem: need at least one qubit");
+  Subsystem sub{psim::PulseSystem(qubits.size()), {}, qubits};
+
+  for (std::size_t local = 0; local < qubits.size(); ++local) {
+    const std::size_t phys = qubits[local];
+    HGP_REQUIRE(phys < info_.num_qubits, "subsystem: qubit out of range");
+    sub.system.add_drive(local, cal_.qubit(phys).drive_rate_ghz);
+    sub.remap[pulse::Channel::drive(phys)] = pulse::Channel::drive(local);
+    if (with_coherent_noise) {
+      sub.system.set_detuning(local, noise_.qubits[phys].freq_drift_ghz);
+      sub.system.set_gain(pulse::Channel::drive(local), noise_.qubits[phys].drive_gain);
+    }
+  }
+
+  std::size_t local_u = 0;
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+      if (i == j) continue;
+      const std::size_t a = qubits[i], b = qubits[j];
+      if (!cal_.has_cr(a, b)) continue;
+      const pulse::CrCalibration& cr = cal_.cr(a, b);
+      sub.system.add_cr(local_u, i, j, cr.mu_zx_ghz, cr.mu_ix_ghz, cr.mu_zi_ghz);
+      sub.remap[pulse::Channel::control(cal_.control_channel(a, b))] =
+          pulse::Channel::control(local_u);
+      if (with_coherent_noise) {
+        // The CR tone is emitted by the control qubit's drive electronics.
+        sub.system.set_gain(pulse::Channel::control(local_u),
+                            noise_.qubits[a].drive_gain);
+      }
+      ++local_u;
+    }
+  }
+
+  if (with_coherent_noise) {
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+        const double zeta = zz_crosstalk(qubits[i], qubits[j]);
+        if (zeta != 0.0) sub.system.add_zz_crosstalk(i, j, zeta);
+      }
+  }
+  return sub;
+}
+
+pulse::Schedule FakeBackend::remap_schedule(
+    const pulse::Schedule& sched, const std::map<pulse::Channel, pulse::Channel>& remap) {
+  pulse::Schedule out(sched.name());
+  for (const pulse::TimedInstruction& ti : sched.instructions()) {
+    const pulse::Channel phys = pulse::instruction_channel(ti.inst);
+    const auto it = remap.find(phys);
+    if (it == remap.end()) continue;
+    pulse::Instruction inst = ti.inst;
+    std::visit(
+        [&](auto& i) {
+          using T = std::decay_t<decltype(i)>;
+          if constexpr (std::is_same_v<T, pulse::Acquire>)
+            i.qubit = it->second.index;
+          else
+            i.channel = it->second;
+        },
+        inst);
+    out.insert(ti.t0, std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace hgp::backend

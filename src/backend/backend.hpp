@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backend/topology.hpp"
+#include "circuit/circuit.hpp"
+#include "noise/model.hpp"
+#include "pulse/calibration.hpp"
+#include "pulsesim/system.hpp"
+
+namespace hgp::backend {
+
+/// One row of the paper's Table I.
+struct BackendInfo {
+  std::string name;
+  std::size_t num_qubits = 0;
+  double x_error = 3e-4;
+  double cx_error = 1e-2;
+  double readout_error = 0.02;
+  double t1_us = 100.0;  // Table I prints "ms"; values match public IBM
+  double t2_us = 100.0;  // calibrations in µs (paper unit typo).
+  double readout_ns = 5000.0;
+};
+
+/// A simulated IBM-style device: topology, analytic pulse calibrations with
+/// seeded per-qubit/per-pair spread, Table-I noise parameters, and the
+/// coherent miscalibrations (frequency drift, drive gain, ZZ crosstalk) that
+/// real machine-in-loop training fights.
+class FakeBackend {
+ public:
+  FakeBackend(BackendInfo info, CouplingMap coupling, std::uint64_t seed);
+
+  const std::string& name() const { return info_.name; }
+  std::size_t num_qubits() const { return info_.num_qubits; }
+  const BackendInfo& info() const { return info_; }
+  const CouplingMap& coupling() const { return coupling_; }
+  const pulse::CalibrationSet& calibrations() const { return cal_; }
+  const noise::NoiseModel& noise_model() const { return noise_; }
+  noise::NoiseModel& mutable_noise_model() { return noise_; }
+  /// ZZ crosstalk (GHz) of a coupled pair (0 when uncoupled).
+  double zz_crosstalk(std::size_t a, std::size_t b) const;
+  /// Residual coherent phase error of the calibrated CX on (control,
+  /// target): the virtual-Z corrections baked into the echo calibration are
+  /// imperfect, leaving a static RZ(first)⊗RZ(second) defect per gate.
+  std::pair<double, double> cx_phase_error(std::size_t control, std::size_t target) const;
+
+  /// Duration of one gate in dt samples, from the lowered schedule (virtual
+  /// RZ and barriers are free).
+  int gate_duration_dt(const qc::Op& op) const;
+  int readout_duration_dt() const;
+
+  /// Pulse subsystem over an ordered set of physical qubits. Local qubit i
+  /// = qubits[i]; `remap` translates physical channels to local ones (CR
+  /// channels exist for coupled pairs inside the set, both directions).
+  struct Subsystem {
+    psim::PulseSystem system;
+    std::map<pulse::Channel, pulse::Channel> remap;
+    std::vector<std::size_t> qubits;
+  };
+  Subsystem subsystem(const std::vector<std::size_t>& qubits, bool with_coherent_noise) const;
+
+  /// Rewrite a physical-channel schedule onto a subsystem's local channels.
+  /// Instructions on unmapped channels are dropped (e.g. measure stimulus).
+  static pulse::Schedule remap_schedule(const pulse::Schedule& sched,
+                                        const std::map<pulse::Channel, pulse::Channel>& remap);
+
+ private:
+  BackendInfo info_;
+  CouplingMap coupling_;
+  pulse::CalibrationSet cal_;
+  noise::NoiseModel noise_;
+  std::map<std::pair<std::size_t, std::size_t>, double> zz_;  // per coupled pair
+  // per directed pair: (control phase, target phase) defect of the CX cal
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<double, double>> cx_phase_err_;
+};
+
+}  // namespace hgp::backend

@@ -1,0 +1,84 @@
+#include "backend/topology.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hgp::backend {
+
+CouplingMap::CouplingMap(std::size_t num_qubits,
+                         std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)), adj_(num_qubits) {
+  for (const auto& [a, b] : edges_) {
+    HGP_REQUIRE(a < num_qubits_ && b < num_qubits_ && a != b, "CouplingMap: bad edge");
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+  // All-pairs BFS.
+  const std::size_t inf = std::numeric_limits<std::size_t>::max() / 2;
+  dist_.assign(num_qubits_, std::vector<std::size_t>(num_qubits_, inf));
+  for (std::size_t s = 0; s < num_qubits_; ++s) {
+    dist_[s][s] = 0;
+    std::queue<std::size_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t v : adj_[u]) {
+        if (dist_[s][v] > dist_[s][u] + 1) {
+          dist_[s][v] = dist_[s][u] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+}
+
+bool CouplingMap::connected(std::size_t a, std::size_t b) const {
+  for (std::size_t v : adj_[a])
+    if (v == b) return true;
+  return false;
+}
+
+CouplingMap heavy_hex_27() {
+  return CouplingMap(
+      27, {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+           {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+           {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+           {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}});
+}
+
+CouplingMap falcon_16() {
+  return CouplingMap(16, {{0, 1},
+                          {1, 2},
+                          {1, 4},
+                          {2, 3},
+                          {3, 5},
+                          {4, 7},
+                          {5, 8},
+                          {6, 7},
+                          {7, 10},
+                          {8, 9},
+                          {8, 11},
+                          {10, 12},
+                          {11, 14},
+                          {12, 13},
+                          {12, 15},
+                          {13, 14}});
+}
+
+CouplingMap line(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap full(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return CouplingMap(n, std::move(edges));
+}
+
+}  // namespace hgp::backend

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hgp::backend {
+
+/// Undirected device connectivity plus the all-pairs hop distances the SABRE
+/// router scores against.
+class CouplingMap {
+ public:
+  CouplingMap() = default;
+  CouplingMap(std::size_t num_qubits, std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const { return edges_; }
+  bool connected(std::size_t a, std::size_t b) const;
+  const std::vector<std::size_t>& neighbors(std::size_t q) const { return adj_[q]; }
+  /// BFS hop distance (precomputed).
+  std::size_t distance(std::size_t a, std::size_t b) const { return dist_[a][b]; }
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::vector<std::size_t>> dist_;
+};
+
+/// 27-qubit IBM Falcon heavy-hex lattice (ibm_auckland / ibmq_toronto /
+/// ibmq_montreal).
+CouplingMap heavy_hex_27();
+/// 16-qubit IBM Falcon (ibmq_guadalupe).
+CouplingMap falcon_16();
+/// Linear chain, mostly for tests.
+CouplingMap line(std::size_t n);
+/// Fully connected, for "ideal device" baselines.
+CouplingMap full(std::size_t n);
+
+}  // namespace hgp::backend

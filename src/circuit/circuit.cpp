@@ -1,0 +1,185 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hgp::qc {
+
+std::vector<double> Op::constant_params() const {
+  std::vector<double> out;
+  out.reserve(params.size());
+  for (const Param& p : params) out.push_back(p.value());
+  return out;
+}
+
+std::size_t Circuit::num_parameters() const {
+  int max_idx = -1;
+  for (const Op& op : ops_)
+    for (const Param& p : op.params) max_idx = std::max(max_idx, p.index());
+  return static_cast<std::size_t>(max_idx + 1);
+}
+
+std::size_t Circuit::count_2q() const {
+  return static_cast<std::size_t>(std::count_if(
+      ops_.begin(), ops_.end(), [](const Op& op) { return op.qubits.size() >= 2; }));
+}
+
+std::size_t Circuit::count(GateKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(), [&](const Op& op) { return op.kind == k; }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(num_qubits_, 0);
+  std::size_t overall = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == GateKind::Barrier) {
+      const std::size_t m = *std::max_element(level.begin(), level.end());
+      std::fill(level.begin(), level.end(), m);
+      continue;
+    }
+    std::size_t start = 0;
+    for (std::size_t q : op.qubits) start = std::max(start, level[q]);
+    for (std::size_t q : op.qubits) level[q] = start + 1;
+    overall = std::max(overall, start + 1);
+  }
+  return overall;
+}
+
+void Circuit::append(Op op) {
+  const std::size_t arity = gate_arity(op.kind);
+  if (arity > 0)
+    HGP_REQUIRE(op.qubits.size() == arity, "Circuit::append: wrong qubit count for " +
+                                               gate_name(op.kind));
+  for (std::size_t q : op.qubits) check_qubit(q);
+  if (op.qubits.size() == 2)
+    HGP_REQUIRE(op.qubits[0] != op.qubits[1], "Circuit::append: duplicate qubit");
+  HGP_REQUIRE(op.params.size() == gate_num_params(op.kind),
+              "Circuit::append: wrong param count for " + gate_name(op.kind));
+  ops_.push_back(std::move(op));
+}
+
+void Circuit::compose(const Circuit& other) {
+  HGP_REQUIRE(other.num_qubits_ == num_qubits_, "Circuit::compose: width mismatch");
+  for (const Op& op : other.ops_) ops_.push_back(op);
+}
+
+Circuit& Circuit::u3(std::size_t q, Param theta, Param phi, Param lam) {
+  check_qubit(q);
+  ops_.push_back(Op{GateKind::U3, {q}, {theta, phi, lam}});
+  return *this;
+}
+
+Circuit& Circuit::cx(std::size_t control, std::size_t target) {
+  check_qubit(control);
+  check_qubit(target);
+  HGP_REQUIRE(control != target, "cx: control == target");
+  ops_.push_back(Op{GateKind::CX, {control, target}, {}});
+  return *this;
+}
+
+Circuit& Circuit::cz(std::size_t a, std::size_t b) {
+  check_qubit(a);
+  check_qubit(b);
+  HGP_REQUIRE(a != b, "cz: duplicate qubit");
+  ops_.push_back(Op{GateKind::CZ, {a, b}, {}});
+  return *this;
+}
+
+Circuit& Circuit::swap(std::size_t a, std::size_t b) {
+  check_qubit(a);
+  check_qubit(b);
+  HGP_REQUIRE(a != b, "swap: duplicate qubit");
+  ops_.push_back(Op{GateKind::SWAP, {a, b}, {}});
+  return *this;
+}
+
+Circuit& Circuit::rzz(std::size_t a, std::size_t b, Param angle) {
+  check_qubit(a);
+  check_qubit(b);
+  HGP_REQUIRE(a != b, "rzz: duplicate qubit");
+  ops_.push_back(Op{GateKind::RZZ, {a, b}, {angle}});
+  return *this;
+}
+
+Circuit& Circuit::rxx(std::size_t a, std::size_t b, Param angle) {
+  check_qubit(a);
+  check_qubit(b);
+  HGP_REQUIRE(a != b, "rxx: duplicate qubit");
+  ops_.push_back(Op{GateKind::RXX, {a, b}, {angle}});
+  return *this;
+}
+
+Circuit& Circuit::barrier() {
+  ops_.push_back(Op{GateKind::Barrier, {}, {}});
+  return *this;
+}
+
+Circuit& Circuit::delay(std::size_t q, int duration_dt) {
+  check_qubit(q);
+  HGP_REQUIRE(duration_dt >= 0, "delay: negative duration");
+  ops_.push_back(Op{GateKind::Delay, {q}, {Param::constant(double(duration_dt))}});
+  return *this;
+}
+
+Circuit Circuit::bound(const std::vector<double>& theta) const {
+  Circuit out(num_qubits_);
+  for (const Op& op : ops_) {
+    Op b = op;
+    for (Param& p : b.params) p = Param::constant(p.eval(theta));
+    out.ops_.push_back(std::move(b));
+  }
+  return out;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit out(num_qubits_);
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    const Op& op = *it;
+    if (op.kind == GateKind::Barrier) {
+      out.ops_.push_back(op);
+      continue;
+    }
+    HGP_REQUIRE(op.kind != GateKind::Measure, "Circuit::inverse: cannot invert measure");
+    Op inv = op;
+    if (gate_num_params(op.kind) > 0) {
+      if (op.kind == GateKind::U3) {
+        // U3(t, p, l)^-1 = U3(-t, -l, -p)
+        inv.params = {op.params[0].negated(), op.params[2].negated(), op.params[1].negated()};
+      } else {
+        for (Param& p : inv.params) p = p.negated();
+      }
+    } else {
+      inv.kind = gate_inverse_kind(op.kind);
+    }
+    out.ops_.push_back(std::move(inv));
+  }
+  return out;
+}
+
+std::string Circuit::str() const {
+  std::ostringstream os;
+  os << "Circuit(" << num_qubits_ << " qubits, " << ops_.size() << " ops, depth " << depth()
+     << ")";
+  return os.str();
+}
+
+Circuit& Circuit::add1(GateKind k, std::size_t q) {
+  check_qubit(q);
+  ops_.push_back(Op{k, {q}, {}});
+  return *this;
+}
+
+Circuit& Circuit::add1p(GateKind k, std::size_t q, Param p) {
+  check_qubit(q);
+  ops_.push_back(Op{k, {q}, {p}});
+  return *this;
+}
+
+void Circuit::check_qubit(std::size_t q) const {
+  HGP_REQUIRE(q < num_qubits_, "Circuit: qubit index out of range");
+}
+
+}  // namespace hgp::qc

@@ -1,0 +1,165 @@
+#include "circuit/gates.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/types.hpp"
+
+namespace hgp::qc {
+
+using la::cxd;
+using la::CMat;
+
+std::size_t gate_arity(GateKind k) {
+  switch (k) {
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return 2;
+    case GateKind::Barrier:
+    case GateKind::Measure:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+std::size_t gate_num_params(GateKind k) {
+  switch (k) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return 1;
+    case GateKind::U3:
+      return 3;
+    case GateKind::Delay:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+const std::string& gate_name(GateKind k) {
+  static const std::string names[] = {"id",  "x",  "y",    "z",   "h",   "s",     "sdg",
+                                      "t",   "tdg", "sx",  "sxdg", "rx", "ry",    "rz",
+                                      "p",   "u3",  "cx",  "cz",   "swap", "rzz", "rxx",
+                                      "delay", "barrier", "measure"};
+  return names[static_cast<int>(k)];
+}
+
+GateKind gate_inverse_kind(GateKind k) {
+  switch (k) {
+    case GateKind::S: return GateKind::Sdg;
+    case GateKind::Sdg: return GateKind::S;
+    case GateKind::T: return GateKind::Tdg;
+    case GateKind::Tdg: return GateKind::T;
+    case GateKind::SX: return GateKind::SXdg;
+    case GateKind::SXdg: return GateKind::SX;
+    default: return k;
+  }
+}
+
+bool gate_is_self_inverse(GateKind k) {
+  switch (k) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CMat gate_matrix(GateKind k, const std::vector<double>& params) {
+  HGP_REQUIRE(params.size() == gate_num_params(k),
+              "gate_matrix: wrong parameter count for " + gate_name(k));
+  const cxd i1{0.0, 1.0};
+  switch (k) {
+    case GateKind::I: return CMat::identity(2);
+    case GateKind::X: return CMat{{0, 1}, {1, 0}};
+    case GateKind::Y: return CMat{{0, cxd{0, -1}}, {cxd{0, 1}, 0}};
+    case GateKind::Z: return CMat{{1, 0}, {0, -1}};
+    case GateKind::H: {
+      const double s = 1.0 / std::sqrt(2.0);
+      return CMat{{s, s}, {s, -s}};
+    }
+    case GateKind::S: return CMat{{1, 0}, {0, i1}};
+    case GateKind::Sdg: return CMat{{1, 0}, {0, -i1}};
+    case GateKind::T: return CMat{{1, 0}, {0, std::polar(1.0, la::kPi / 4)}};
+    case GateKind::Tdg: return CMat{{1, 0}, {0, std::polar(1.0, -la::kPi / 4)}};
+    case GateKind::SX: {
+      const cxd a{0.5, 0.5}, b{0.5, -0.5};
+      return CMat{{a, b}, {b, a}};
+    }
+    case GateKind::SXdg: {
+      const cxd a{0.5, -0.5}, b{0.5, 0.5};
+      return CMat{{a, b}, {b, a}};
+    }
+    case GateKind::RX: {
+      const double c = std::cos(params[0] / 2), s = std::sin(params[0] / 2);
+      return CMat{{c, -i1 * s}, {-i1 * s, c}};
+    }
+    case GateKind::RY: {
+      const double c = std::cos(params[0] / 2), s = std::sin(params[0] / 2);
+      return CMat{{c, -s}, {s, c}};
+    }
+    case GateKind::RZ: {
+      const cxd em = std::polar(1.0, -params[0] / 2), ep = std::polar(1.0, params[0] / 2);
+      return CMat{{em, 0}, {0, ep}};
+    }
+    case GateKind::P: return CMat{{1, 0}, {0, std::polar(1.0, params[0])}};
+    case GateKind::U3: {
+      const double t = params[0], phi = params[1], lam = params[2];
+      const double c = std::cos(t / 2), s = std::sin(t / 2);
+      return CMat{{c, -std::polar(1.0, lam) * s},
+                  {std::polar(1.0, phi) * s, std::polar(1.0, phi + lam) * c}};
+    }
+    case GateKind::CX:
+      // Little-endian, first listed qubit (control) = bit 0.
+      return CMat{{1, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}};
+    case GateKind::CZ:
+      return CMat{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, -1}};
+    case GateKind::SWAP:
+      return CMat{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+    case GateKind::RZZ: {
+      const cxd em = std::polar(1.0, -params[0] / 2), ep = std::polar(1.0, params[0] / 2);
+      CMat m(4, 4);
+      m(0, 0) = em;
+      m(1, 1) = ep;
+      m(2, 2) = ep;
+      m(3, 3) = em;
+      return m;
+    }
+    case GateKind::RXX: {
+      const double c = std::cos(params[0] / 2), s = std::sin(params[0] / 2);
+      CMat m(4, 4);
+      m(0, 0) = c;
+      m(1, 1) = c;
+      m(2, 2) = c;
+      m(3, 3) = c;
+      m(0, 3) = -i1 * s;
+      m(1, 2) = -i1 * s;
+      m(2, 1) = -i1 * s;
+      m(3, 0) = -i1 * s;
+      return m;
+    }
+    case GateKind::Delay:
+      return CMat::identity(2);
+    case GateKind::Barrier:
+    case GateKind::Measure:
+      break;
+  }
+  throw Error("gate_matrix: gate has no unitary (" + gate_name(k) + ")");
+}
+
+}  // namespace hgp::qc

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgp::qc {
+
+/// The gate vocabulary. Rotation conventions follow the OpenQASM/qiskit
+/// standard: RX(t) = exp(-i t X/2), RZZ(t) = exp(-i t Z⊗Z / 2), etc.
+enum class GateKind {
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  SXdg,
+  RX,
+  RY,
+  RZ,
+  P,   // phase gate diag(1, e^{i t})
+  U3,  // U3(theta, phi, lambda)
+  CX,
+  CZ,
+  SWAP,
+  RZZ,
+  RXX,
+  Delay,  // timed idle; one parameter = duration in dt samples
+  Barrier,
+  Measure,
+};
+
+/// Number of qubits the gate acts on (Barrier/Measure are flexible and
+/// report 0 here).
+std::size_t gate_arity(GateKind k);
+/// Number of rotation parameters.
+std::size_t gate_num_params(GateKind k);
+/// Lowercase mnemonic ("cx", "rzz", ...).
+const std::string& gate_name(GateKind k);
+/// Inverse kind for self-inverse and dagger-pair gates; rotations invert by
+/// negating the angle and return their own kind.
+GateKind gate_inverse_kind(GateKind k);
+/// True for X, H, CX, CZ, SWAP, Z, Y, I.
+bool gate_is_self_inverse(GateKind k);
+
+/// Dense unitary for the gate with bound parameter values. Two-qubit matrices
+/// are in little-endian order: for qubits (q0, q1) = (control, target) of CX
+/// the basis index bit0 = first listed qubit.
+la::CMat gate_matrix(GateKind k, const std::vector<double>& params = {});
+
+}  // namespace hgp::qc

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hgp::qc {
+
+/// A gate parameter that is either a constant or an affine function of one
+/// entry of the circuit's parameter vector: value = offset + scale * theta[i].
+/// The affine form is what QAOA needs (e.g. RZZ(-w*gamma), RX(2*beta)).
+class Param {
+ public:
+  Param() = default;
+
+  static Param constant(double v) {
+    Param p;
+    p.offset_ = v;
+    return p;
+  }
+  static Param symbol(int index, double scale = 1.0, double offset = 0.0) {
+    HGP_REQUIRE(index >= 0, "Param::symbol: negative index");
+    Param p;
+    p.index_ = index;
+    p.scale_ = scale;
+    p.offset_ = offset;
+    return p;
+  }
+
+  bool is_constant() const { return index_ < 0; }
+  int index() const { return index_; }
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+
+  double eval(const std::vector<double>& theta) const {
+    if (index_ < 0) return offset_;
+    HGP_REQUIRE(static_cast<std::size_t>(index_) < theta.size(),
+                "Param::eval: parameter vector too short");
+    return offset_ + scale_ * theta[static_cast<std::size_t>(index_)];
+  }
+  /// Constant value; throws if symbolic.
+  double value() const {
+    HGP_REQUIRE(is_constant(), "Param::value: parameter is symbolic");
+    return offset_;
+  }
+
+  /// The same parameter negated (used by Circuit::inverse()).
+  Param negated() const {
+    Param p = *this;
+    p.scale_ = -p.scale_;
+    p.offset_ = -p.offset_;
+    return p;
+  }
+
+  bool operator==(const Param& o) const {
+    return index_ == o.index_ && scale_ == o.scale_ && offset_ == o.offset_;
+  }
+
+ private:
+  int index_ = -1;
+  double scale_ = 1.0;
+  double offset_ = 0.0;
+};
+
+}  // namespace hgp::qc

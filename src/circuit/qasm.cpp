@@ -1,0 +1,159 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "linalg/types.hpp"
+
+namespace hgp::qc {
+
+std::string to_qasm(const Circuit& c) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << c.num_qubits() << "];\n";
+  os << "creg m[" << c.num_qubits() << "];\n";
+  os << std::setprecision(17);
+  for (const Op& op : c.ops()) {
+    if (op.kind == GateKind::Barrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    if (op.kind == GateKind::Measure) {
+      os << "measure q -> m;\n";
+      continue;
+    }
+    os << gate_name(op.kind);
+    if (!op.params.empty()) {
+      os << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        HGP_REQUIRE(op.params[i].is_constant(), "to_qasm: circuit has unbound parameters");
+        os << (i ? "," : "") << op.params[i].value();
+      }
+      os << ")";
+    }
+    os << " ";
+    for (std::size_t i = 0; i < op.qubits.size(); ++i)
+      os << (i ? "," : "") << "q[" << op.qubits[i] << "]";
+    os << ";\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+const std::map<std::string, GateKind>& name_table() {
+  static const std::map<std::string, GateKind> table = {
+      {"id", GateKind::I},     {"x", GateKind::X},       {"y", GateKind::Y},
+      {"z", GateKind::Z},      {"h", GateKind::H},       {"s", GateKind::S},
+      {"sdg", GateKind::Sdg},  {"t", GateKind::T},       {"tdg", GateKind::Tdg},
+      {"sx", GateKind::SX},    {"sxdg", GateKind::SXdg}, {"rx", GateKind::RX},
+      {"ry", GateKind::RY},    {"rz", GateKind::RZ},     {"p", GateKind::P},
+      {"u3", GateKind::U3},    {"cx", GateKind::CX},     {"cz", GateKind::CZ},
+      {"swap", GateKind::SWAP}, {"rzz", GateKind::RZZ},  {"rxx", GateKind::RXX},
+      {"delay", GateKind::Delay}};
+  return table;
+}
+
+/// Evaluate a numeric expression of the form [-]number[*pi][/number] or
+/// "pi/2" style literals.
+double parse_number(std::string s) {
+  // Trim whitespace.
+  auto trim = [](std::string& x) {
+    while (!x.empty() && std::isspace(static_cast<unsigned char>(x.front()))) x.erase(x.begin());
+    while (!x.empty() && std::isspace(static_cast<unsigned char>(x.back()))) x.pop_back();
+  };
+  trim(s);
+  double sign = 1.0;
+  if (!s.empty() && s[0] == '-') {
+    sign = -1.0;
+    s.erase(s.begin());
+    trim(s);
+  }
+  double denom = 1.0;
+  if (auto pos = s.find('/'); pos != std::string::npos) {
+    denom = std::stod(s.substr(pos + 1));
+    s = s.substr(0, pos);
+    trim(s);
+  }
+  double value = 0.0;
+  if (auto pos = s.find("pi"); pos != std::string::npos) {
+    std::string pre = s.substr(0, pos);
+    if (auto star = pre.find('*'); star != std::string::npos) pre = pre.substr(0, star);
+    trim(pre);
+    const double factor = pre.empty() ? 1.0 : std::stod(pre);
+    value = factor * la::kPi;
+  } else {
+    value = std::stod(s);
+  }
+  return sign * value / denom;
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  Circuit circuit;
+  bool have_qreg = false;
+
+  while (std::getline(is, line)) {
+    // Strip comments and whitespace.
+    if (auto pos = line.find("//"); pos != std::string::npos) line = line.substr(0, pos);
+    std::string s;
+    for (char ch : line) s += ch;
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.erase(s.begin());
+    while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.back())) || s.back() == ';'))
+      s.pop_back();
+    if (s.empty()) continue;
+    if (s.rfind("OPENQASM", 0) == 0 || s.rfind("include", 0) == 0 || s.rfind("creg", 0) == 0 ||
+        s.rfind("barrier", 0) == 0 || s.rfind("measure", 0) == 0)
+      continue;
+    if (s.rfind("qreg", 0) == 0) {
+      const auto lb = s.find('['), rb = s.find(']');
+      HGP_REQUIRE(lb != std::string::npos && rb != std::string::npos, "from_qasm: bad qreg");
+      circuit = Circuit(static_cast<std::size_t>(std::stoul(s.substr(lb + 1, rb - lb - 1))));
+      have_qreg = true;
+      continue;
+    }
+    HGP_REQUIRE(have_qreg, "from_qasm: gate before qreg");
+
+    // Gate name [ '(' params ')' ] qubit list.
+    std::size_t i = 0;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) ++i;
+    const std::string name = s.substr(0, i);
+    const auto it = name_table().find(name);
+    HGP_REQUIRE(it != name_table().end(), "from_qasm: unknown gate '" + name + "'");
+
+    std::vector<Param> params;
+    if (i < s.size() && s[i] == '(') {
+      const auto close = s.find(')', i);
+      HGP_REQUIRE(close != std::string::npos, "from_qasm: unbalanced parens");
+      std::string plist = s.substr(i + 1, close - i - 1);
+      std::istringstream ps(plist);
+      std::string tok;
+      while (std::getline(ps, tok, ','))
+        params.push_back(Param::constant(parse_number(tok)));
+      i = close + 1;
+    }
+
+    std::vector<std::size_t> qubits;
+    std::string rest = s.substr(i);
+    std::size_t pos = 0;
+    while ((pos = rest.find('[', pos)) != std::string::npos) {
+      const auto rb = rest.find(']', pos);
+      HGP_REQUIRE(rb != std::string::npos, "from_qasm: bad qubit ref");
+      qubits.push_back(static_cast<std::size_t>(std::stoul(rest.substr(pos + 1, rb - pos - 1))));
+      pos = rb + 1;
+    }
+
+    circuit.append(Op{it->second, std::move(qubits), std::move(params)});
+  }
+  return circuit;
+}
+
+}  // namespace hgp::qc

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace hgp::qc {
+
+/// Serialize a (bound) circuit to OpenQASM 2.0 text. Symbolic parameters are
+/// rejected — bind first.
+std::string to_qasm(const Circuit& c);
+
+/// Parse the subset of OpenQASM 2.0 emitted by to_qasm (one register, the
+/// hgp gate vocabulary, numeric parameters with an optional "pi" literal).
+Circuit from_qasm(const std::string& text);
+
+}  // namespace hgp::qc

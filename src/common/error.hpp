@@ -1,0 +1,33 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hgp {
+
+/// Exception type thrown by all hgp components on precondition violations
+/// and invalid arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hgp
+
+/// Precondition check that throws hgp::Error. Never compiled out: these guard
+/// API boundaries, not hot loops.
+#define HGP_REQUIRE(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) ::hgp::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hgp {
+
+/// Deterministic, seedable PRNG (xoshiro256++) plus the distribution helpers
+/// used across the library. Every stochastic component takes an Rng& so that
+/// whole experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Gaussian via Box-Muller (cached pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// True with probability p (p clamped to [0, 1]).
+  bool bernoulli(double p);
+  /// Uniform integer in [lo, hi], inclusive.
+  int uniform_int(int lo, int hi);
+  /// Index sampled proportionally to non-negative weights.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hgp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hgp {
+
+/// Minimal aligned ASCII table used by the benchmark harnesses to print
+/// paper-style tables (Table I, Table II, figure series).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+
+  /// "54.3%" style formatting of a ratio in [0,1].
+  static std::string pct(double x, int prec = 1);
+  /// Fixed-precision number.
+  static std::string num(double x, int prec = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hgp

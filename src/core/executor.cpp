@@ -1,0 +1,300 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "noise/channels.hpp"
+#include "pulsesim/simulator.hpp"
+
+namespace hgp::core {
+
+using la::CMat;
+
+namespace {
+
+bool is_virtual_gate(qc::GateKind k) {
+  switch (k) {
+    case qc::GateKind::I:
+    case qc::GateKind::RZ:
+    case qc::GateKind::Z:
+    case qc::GateKind::S:
+    case qc::GateKind::Sdg:
+    case qc::GateKind::T:
+    case qc::GateKind::Tdg:
+    case qc::GateKind::P:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Count drive-channel and control-channel plays in a schedule (the noise
+/// charge units).
+void count_plays(const pulse::Schedule& sched, std::size_t& drive_plays,
+                 std::size_t& cr_halves) {
+  drive_plays = 0;
+  cr_halves = 0;
+  for (const pulse::TimedInstruction& ti : sched.instructions()) {
+    if (const auto* play = std::get_if<pulse::Play>(&ti.inst)) {
+      if (play->channel.type == pulse::ChannelType::Drive) ++drive_plays;
+      if (play->channel.type == pulse::ChannelType::Control) ++cr_halves;
+    }
+  }
+}
+
+bool has_frequency_instruction(const pulse::Schedule& sched) {
+  for (const pulse::TimedInstruction& ti : sched.instructions())
+    if (std::holds_alternative<pulse::ShiftFrequency>(ti.inst) ||
+        std::holds_alternative<pulse::SetFrequency>(ti.inst))
+      return true;
+  return false;
+}
+
+}  // namespace
+
+Executor::Executor(const backend::FakeBackend& dev, ExecutorOptions options)
+    : dev_(dev), options_(options) {}
+
+CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
+                              const std::vector<std::size_t>& qubits) const {
+  const bool coherent = options_.noise && options_.coherent_noise;
+  backend::FakeBackend::Subsystem sub = dev_.subsystem(qubits, coherent);
+  const pulse::Schedule local = backend::FakeBackend::remap_schedule(physical_sched, sub.remap);
+  // Small subsystems are cheap at full resolution; multi-qubit CR blocks use
+  // a coarser piecewise-constant stride (2 when a frequency ramp is present,
+  // 4 for flat envelopes — staircase errors cancel on symmetric rise/fall).
+  const int stride =
+      qubits.size() == 1 ? 1 : (has_frequency_instruction(local) ? 2 : 4);
+  const psim::PulseSimulator sim(std::move(sub.system), psim::Integrator::Exact, 1, stride);
+  CMat u = sim.unitary(local);
+
+  // Undo deferred virtual-Z frames so the block unitary is self-contained.
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    const double shift = pulse::CalibrationSet::drive_phase_shift(physical_sched, qubits[i]);
+    if (shift == 0.0) continue;
+    CMat full = CMat::identity(1);
+    const CMat rz = qc::gate_matrix(qc::GateKind::RZ, {-shift});
+    for (std::size_t k = qubits.size(); k-- > 0;)
+      full = la::kron(full, k == i ? rz : CMat::identity(2));
+    u = full * u;
+  }
+  return u;
+}
+
+Executor::CompiledBlock Executor::compile_gate(const qc::Op& op) {
+  CompiledBlock block;
+  block.qubits = op.qubits;
+
+  if (is_virtual_gate(op.kind)) {
+    block.unitary = qc::gate_matrix(op.kind, op.constant_params());
+    block.virtual_only = true;
+    return block;
+  }
+  if (op.kind == qc::GateKind::Delay) {
+    // Timed identity: thermal relaxation and coherent frame drift act over
+    // its span (it behaves exactly like idle time, which is what DD slices).
+    block.unitary = la::CMat::identity(2);
+    block.duration_dt = static_cast<int>(op.params[0].value());
+    block.explicit_idle = true;
+    return block;
+  }
+
+  const pulse::CalibrationSet& cal = dev_.calibrations();
+  pulse::Schedule sched;
+  std::ostringstream key;
+  key << qc::gate_name(op.kind);
+  for (std::size_t q : op.qubits) key << "," << q;
+
+  switch (op.kind) {
+    case qc::GateKind::SX:
+      sched = cal.sx(op.qubits[0]);
+      break;
+    case qc::GateKind::X:
+      sched = cal.x(op.qubits[0]);
+      break;
+    case qc::GateKind::CX:
+      sched = cal.cx(op.qubits[0], op.qubits[1]);
+      break;
+    case qc::GateKind::RZZ: {
+      // An RZZ surviving to execution means the pulse-efficient direct-CR
+      // realization was requested.
+      const double theta = op.params[0].value();
+      sched = cal.rzz_direct(op.qubits[0], op.qubits[1], theta);
+      key << ",theta=" << theta;
+      break;
+    }
+    default:
+      throw Error("Executor: program not in native basis (got " + qc::gate_name(op.kind) +
+                  "); transpile first");
+  }
+
+  const auto cached = cache_.find(key.str());
+  if (cached != cache_.end()) return cached->second;
+
+  count_plays(sched, block.drive_plays, block.cr_halves);
+  block.duration_dt = sched.duration();
+  if (options_.noise && options_.coherent_noise) {
+    block.unitary = simulate_block(sched, op.qubits);
+    if (op.kind == qc::GateKind::CX || op.kind == qc::GateKind::RZZ) {
+      // Fold in the static phase defect of the two-qubit calibration.
+      const auto [phi_c, phi_t] = dev_.cx_phase_error(op.qubits[0], op.qubits[1]);
+      block.unitary = la::kron(qc::gate_matrix(qc::GateKind::RZ, {phi_t}),
+                               qc::gate_matrix(qc::GateKind::RZ, {phi_c})) *
+                      block.unitary;
+    }
+  } else {
+    block.unitary = qc::gate_matrix(op.kind, op.constant_params());
+  }
+  cache_[key.str()] = block;
+  return block;
+}
+
+Executor::CompiledBlock Executor::compile_pulse(const ExecOp& op) {
+  CompiledBlock block;
+  block.qubits = op.qubits;
+  block.duration_dt = op.schedule.duration();
+  count_plays(op.schedule, block.drive_plays, block.cr_halves);
+  block.unitary = simulate_block(op.schedule, op.qubits);
+  return block;
+}
+
+sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
+  HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+
+  // Physical -> local compression.
+  std::vector<std::size_t> touched;
+  auto touch = [&](std::size_t q) {
+    if (std::find(touched.begin(), touched.end(), q) == touched.end()) touched.push_back(q);
+  };
+  for (const ExecOp& op : program.ops)
+    for (std::size_t q : (op.is_pulse ? op.qubits : op.gate.qubits)) touch(q);
+  for (std::size_t q : program.measure_qubits) touch(q);
+  std::sort(touched.begin(), touched.end());
+  HGP_REQUIRE(touched.size() <= 14, "Executor::run: too many active qubits to simulate");
+  std::map<std::size_t, std::size_t> local_of;
+  for (std::size_t i = 0; i < touched.size(); ++i) local_of[touched[i]] = i;
+
+  // Compile blocks and lay out the ASAP timeline.
+  struct Scheduled {
+    CompiledBlock block;
+    std::vector<std::size_t> local;      // local qubit indices
+    std::vector<int> idle_before_dt;     // per local qubit of the block
+  };
+  std::vector<Scheduled> timeline;
+  std::vector<int> clock(touched.size(), 0);
+
+  for (const ExecOp& op : program.ops) {
+    if (!op.is_pulse && op.gate.kind == qc::GateKind::Barrier) {
+      const int t = *std::max_element(clock.begin(), clock.end());
+      std::fill(clock.begin(), clock.end(), t);
+      continue;
+    }
+    if (!op.is_pulse && op.gate.kind == qc::GateKind::Measure) continue;
+    Scheduled s;
+    s.block = op.is_pulse ? compile_pulse(op) : compile_gate(op.gate);
+    for (std::size_t q : s.block.qubits) s.local.push_back(local_of.at(q));
+    int t0 = 0;
+    for (std::size_t lq : s.local) t0 = std::max(t0, clock[lq]);
+    for (std::size_t lq : s.local) {
+      s.idle_before_dt.push_back(t0 - clock[lq]);
+      clock[lq] = t0 + s.block.duration_dt;
+    }
+    timeline.push_back(std::move(s));
+  }
+  const int makespan = clock.empty() ? 0 : *std::max_element(clock.begin(), clock.end());
+  report_ = ExecutionReport{makespan, dev_.readout_duration_dt(), timeline.size()};
+
+  const noise::NoiseModel& nm = dev_.noise_model();
+  const bool noisy = options_.noise;
+  const double dep1 = nm.dep_per_1q_pulse;
+  const double dep2 = nm.dep_per_2q_block;
+
+  auto relax = [&](sim::Statevector& sv, std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0) return;
+    const noise::QubitNoise& qn = nm.qubits[touched[lq]];
+    noise::apply_thermal_relaxation(sv, lq, qn.t1_us, qn.t2_us, duration_dt * pulse::kDtNs,
+                                    rng);
+  };
+  // Coherent frame drift while idling: the qubit precesses at its true
+  // (drifted) frequency but the frame stays at the calibrated one, so a
+  // static Z-phase builds up — shot-independent, hence *learnable* by the
+  // pulse ansatz's phase knob but invisible to fixed gate calibrations.
+  // (During blocks the subsystem Hamiltonian carries the same detuning.)
+  auto idle_drift = [&](sim::Statevector& sv, std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0 || !options_.coherent_noise) return;
+    const double drift = nm.qubits[touched[lq]].freq_drift_ghz;
+    if (drift == 0.0) return;
+    const double angle = 2.0 * la::kPi * drift * duration_dt * pulse::kDtNs;
+    sv.apply_matrix(qc::gate_matrix(qc::GateKind::RZ, {angle}), {lq});
+  };
+
+  // Fast path: noiseless execution is deterministic — evolve once, sample.
+  if (!noisy) {
+    sim::Statevector sv(touched.size());
+    for (const Scheduled& s : timeline) sv.apply_matrix(s.block.unitary, s.local);
+    sim::Counts local_counts = sv.sample(shots, rng);
+    sim::Counts out;
+    for (const auto& [bits, n] : local_counts) {
+      std::uint64_t mapped = 0;
+      for (std::size_t i = 0; i < program.measure_qubits.size(); ++i)
+        if ((bits >> local_of.at(program.measure_qubits[i])) & 1)
+          mapped |= (std::uint64_t{1} << i);
+      out[mapped] += n;
+    }
+    return out;
+  }
+
+  sim::Counts out;
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    sim::Statevector sv(touched.size());
+    for (const Scheduled& s : timeline) {
+      for (std::size_t i = 0; i < s.local.size(); ++i) {
+        relax(sv, s.local[i], s.idle_before_dt[i]);
+        idle_drift(sv, s.local[i], s.idle_before_dt[i]);
+      }
+      sv.apply_matrix(s.block.unitary, s.local);
+      if (s.block.virtual_only) continue;
+      for (std::size_t lq : s.local) relax(sv, lq, s.block.duration_dt);
+      if (s.block.explicit_idle) {
+        for (std::size_t lq : s.local) idle_drift(sv, lq, s.block.duration_dt);
+        continue;
+      }
+      if (s.block.drive_plays > 0) {
+        // Charge 1q depolarizing per drive pulse, spread over the block's
+        // qubits (exact for 1q blocks; even split for multi-qubit blocks).
+        const double p = dep1 * static_cast<double>(s.block.drive_plays) /
+                         static_cast<double>(s.local.size());
+        for (std::size_t lq : s.local) noise::apply_depolarizing(sv, {lq}, p, rng);
+      }
+      if (s.block.cr_halves > 0 && s.local.size() >= 2) {
+        const double p = dep2 * static_cast<double>(s.block.cr_halves) / 2.0;
+        noise::apply_depolarizing(sv, {s.local[0], s.local[1]}, p, rng);
+      }
+    }
+    // Idle to the end of the circuit, then decohere through readout.
+    for (std::size_t lq = 0; lq < touched.size(); ++lq)
+      relax(sv, lq, makespan - clock[lq] + dev_.readout_duration_dt());
+
+    std::uint64_t bits = sv.sample(1, rng).begin()->first;
+    if (options_.readout_error) {
+      for (std::size_t i = 0; i < program.measure_qubits.size(); ++i) {
+        const std::size_t phys = program.measure_qubits[i];
+        const std::size_t lq = local_of.at(phys);
+        const bool one = (bits >> lq) & 1;
+        const noise::ReadoutError& re = nm.qubits[phys].readout;
+        const double p_flip = one ? re.p0_given_1 : re.p1_given_0;
+        if (rng.bernoulli(p_flip)) bits ^= (std::uint64_t{1} << lq);
+      }
+    }
+    std::uint64_t mapped = 0;
+    for (std::size_t i = 0; i < program.measure_qubits.size(); ++i)
+      if ((bits >> local_of.at(program.measure_qubits[i])) & 1)
+        mapped |= (std::uint64_t{1} << i);
+    ++out[mapped];
+  }
+  return out;
+}
+
+}  // namespace hgp::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "common/rng.hpp"
+#include "core/program.hpp"
+#include "sim/statevector.hpp"
+
+namespace hgp::core {
+
+struct ExecutorOptions {
+  /// Master switch: false = ideal (noiseless, exact gate matrices).
+  bool noise = true;
+  /// Apply the readout confusion to sampled bits.
+  bool readout_error = true;
+  /// Simulate gates through their calibrated pulse schedules (coherent
+  /// miscalibration included). When false, gates use exact matrices but
+  /// incoherent noise still applies.
+  bool coherent_noise = true;
+};
+
+/// Timing/duration report of one executed program.
+struct ExecutionReport {
+  int makespan_dt = 0;
+  int readout_dt = 0;
+  std::size_t block_count = 0;
+};
+
+/// The machine-in-loop execution engine: compiles a Program's steps into
+/// per-block unitaries (gate blocks through the backend's calibrated pulse
+/// schedules, pulse blocks through the pulse simulator — both including the
+/// device's coherent miscalibration), then samples shots as quantum
+/// trajectories with per-block depolarizing charges, per-qubit thermal
+/// relaxation over the ASAP timeline, and readout confusion.
+class Executor {
+ public:
+  Executor(const backend::FakeBackend& dev, ExecutorOptions options = {});
+
+  /// Run the program and return counts keyed in the order of
+  /// program.measure_qubits (bit i = measure_qubits[i]).
+  sim::Counts run(const Program& program, std::size_t shots, Rng& rng);
+
+  const ExecutionReport& last_report() const { return report_; }
+
+ private:
+  struct CompiledBlock {
+    la::CMat unitary;                  // local to `qubits`
+    std::vector<std::size_t> qubits;   // physical
+    int duration_dt = 0;
+    std::size_t drive_plays = 0;       // 1q depolarizing charges
+    std::size_t cr_halves = 0;         // 2q depolarizing charges
+    bool virtual_only = false;         // exact & free (RZ etc.)
+    bool explicit_idle = false;        // Delay: relaxation + coherent drift
+  };
+
+  CompiledBlock compile_gate(const qc::Op& op);
+  CompiledBlock compile_pulse(const ExecOp& op);
+  la::CMat simulate_block(const pulse::Schedule& physical_sched,
+                          const std::vector<std::size_t>& qubits) const;
+
+  const backend::FakeBackend& dev_;
+  ExecutorOptions options_;
+  ExecutionReport report_;
+  std::map<std::string, CompiledBlock> cache_;
+};
+
+}  // namespace hgp::core

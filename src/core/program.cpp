@@ -1,0 +1,12 @@
+#include "core/program.hpp"
+
+namespace hgp::core {
+
+std::size_t Program::pulse_block_play_count() const {
+  std::size_t n = 0;
+  for (const ExecOp& op : ops)
+    if (op.is_pulse) n += op.schedule.play_count();
+  return n;
+}
+
+}  // namespace hgp::core

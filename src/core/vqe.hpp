@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "linalg/pauli.hpp"
+#include "optimize/optimizer.hpp"
+
+namespace hgp::core {
+
+/// Generic VQE driver over an arbitrary Pauli-sum Hamiltonian and a
+/// parameterized circuit — the "other VQAs" the paper's conclusion points
+/// the hybrid abstraction at. Runs on the ideal statevector (chemistry-style
+/// energy minimization); the QAOA machinery in workflow.hpp is the noisy,
+/// machine-in-loop path.
+struct VqeConfig {
+  int max_evaluations = 300;
+  std::string optimizer = "cobyla";  // "cobyla" | "neldermead" | "spsa" | "adam"
+  std::uint64_t seed = 5;
+};
+
+struct VqeResult {
+  double energy = 0.0;
+  double exact_ground = 0.0;  // from dense diagonalization (small systems)
+  /// energy error relative to the spectral width.
+  double relative_error = 0.0;
+  opt::OptimizeResult optimizer;
+};
+
+/// Minimize <ansatz(θ)| H |ansatz(θ)>. The ansatz's symbolic parameters are
+/// the optimization variables (initialized at 0.1 each).
+VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
+                  const VqeConfig& config = {});
+
+/// Transverse-field Ising chain H = -J Σ Z_i Z_{i+1} - h Σ X_i, the standard
+/// VQE testbed.
+la::PauliSum tfim_hamiltonian(std::size_t n, double j, double h, bool periodic = false);
+
+}  // namespace hgp::core

@@ -1,0 +1,119 @@
+#include "core/workflow.hpp"
+
+#include "common/error.hpp"
+#include "core/calibration_run.hpp"
+#include "core/qaoa.hpp"
+#include "mitigation/cvar.hpp"
+#include "mitigation/m3.hpp"
+#include "optimize/cobyla.hpp"
+#include "optimize/neldermead.hpp"
+#include "optimize/spsa.hpp"
+
+namespace hgp::core {
+
+namespace {
+
+/// The configured cost metric: plain expectation / M3 / CVaR, over counts
+/// keyed in virtual qubit order.
+double scored_cost(const sim::Counts& counts, const graph::Graph& g, const RunConfig& cfg,
+                   const mit::M3Mitigator* m3) {
+  auto cut = [&](std::uint64_t bits) { return g.cut_value(bits); };
+  if (m3 != nullptr) {
+    const mit::QuasiDistribution quasi = m3->mitigate(counts);
+    if (cfg.cvar) return mit::cvar_from_quasi(quasi, cut, cfg.cvar_alpha);
+    return quasi.expectation(cut);
+  }
+  if (cfg.cvar) return mit::cvar_from_counts(counts, cut, cfg.cvar_alpha);
+  return cut_expectation(g, counts);
+}
+
+}  // namespace
+
+RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& dev,
+                   ModelKind kind, const RunConfig& config) {
+  ModelConfig mcfg = config.model;
+  mcfg.gate_optimization = config.gate_optimization;
+  QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);
+
+  Executor executor(dev);
+  Rng rng(config.seed);
+
+  // M3 readout calibration (paper §IV-D): estimate the per-qubit confusion
+  // by running the all-|0> and all-|1> calibration programs on the device.
+  std::unique_ptr<mit::M3Mitigator> m3;
+  if (config.m3) {
+    const Program probe = model.instantiate(model.initial_parameters());
+    Rng cal_rng(config.seed ^ 0xCA11ull);
+    m3 = std::make_unique<mit::M3Mitigator>(
+        calibrate_readout(executor, probe.measure_qubits, config.calibration_shots, cal_rng));
+  }
+
+  const opt::Objective objective = [&](const std::vector<double>& theta) {
+    const Program prog = model.instantiate(theta);
+    const sim::Counts counts = executor.run(prog, config.shots, rng);
+    return -scored_cost(counts, instance.graph, config, m3.get());
+  };
+
+  opt::OptimizeResult opt_result;
+  if (config.optimizer == "cobyla") {
+    opt::Cobyla::Options copt;
+    copt.max_evaluations = config.max_evaluations;
+    opt_result = opt::Cobyla(copt).minimize(objective, model.initial_parameters(),
+                                            model.bounds());
+  } else if (config.optimizer == "spsa") {
+    opt::Spsa::Options sopt;
+    sopt.max_iterations = config.max_evaluations / 2;  // 2 evals per iteration
+    sopt.seed = config.seed ^ 0x5B5Aull;
+    opt_result = opt::Spsa(sopt).minimize(objective, model.initial_parameters(),
+                                          model.bounds());
+  } else if (config.optimizer == "neldermead") {
+    opt::NelderMead::Options nopt;
+    nopt.max_evaluations = config.max_evaluations;
+    opt_result = opt::NelderMead(nopt).minimize(objective, model.initial_parameters(),
+                                                model.bounds());
+  } else {
+    HGP_REQUIRE(false, "run_qaoa: unknown optimizer '" + config.optimizer + "'");
+  }
+
+  // Final evaluation at the optimum with a fresh sampling seed.
+  Rng final_rng(config.seed ^ 0xF1A5ull);
+  const Program final_prog = model.instantiate(opt_result.x);
+  const sim::Counts final_counts = executor.run(final_prog, config.shots, final_rng);
+  const double final_cost = scored_cost(final_counts, instance.graph, config, m3.get());
+
+  RunResult out;
+  out.model = model_name(kind);
+  out.final_cost = final_cost;
+  out.ar = approximation_ratio(final_cost, instance.max_cut);
+  out.optimizer = std::move(opt_result);
+  out.iterations_to_converge = opt::iterations_to_converge(out.optimizer, 0.02);
+  out.mixer_layer_duration_dt = model.mixer_layer_duration_dt();
+  out.makespan_dt = executor.last_report().makespan_dt;
+  out.swap_count = model.swap_count();
+  out.num_parameters = model.num_parameters();
+  return out;
+}
+
+DurationSearchOutcome optimize_mixer_duration(const graph::Instance& instance,
+                                              const backend::FakeBackend& dev,
+                                              const RunConfig& config,
+                                              double keep_fraction) {
+  HGP_REQUIRE(config.model.p >= 1, "optimize_mixer_duration: bad config");
+  DurationSearchOutcome out;
+
+  auto score_at = [&](int duration_dt) {
+    RunConfig c = config;
+    c.model.mixer_duration_dt = duration_dt;
+    const RunResult r = run_qaoa(instance, dev, ModelKind::Hybrid, c);
+    return r.ar;
+  };
+
+  out.search = opt::binary_search_duration(score_at, config.model.mixer_duration_dt, 32,
+                                           keep_fraction);
+  RunConfig final_cfg = config;
+  final_cfg.model.mixer_duration_dt = out.search.best_duration;
+  out.final_run = run_qaoa(instance, dev, ModelKind::Hybrid, final_cfg);
+  return out;
+}
+
+}  // namespace hgp::core

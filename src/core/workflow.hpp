@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "core/executor.hpp"
+#include "core/models.hpp"
+#include "graph/instances.hpp"
+#include "optimize/duration_search.hpp"
+#include "optimize/optimizer.hpp"
+
+namespace hgp::core {
+
+/// One experiment configuration (a cell of Table II / a bar of Figs. 5-6).
+struct RunConfig {
+  std::size_t shots = 1024;
+  /// COBYLA evaluation budget: the paper uses 50, and up to 200 for the
+  /// pulse-level model.
+  int max_evaluations = 50;
+  /// Step II: SABRE + commutative cancellation.
+  bool gate_optimization = false;
+  /// Step III: M3 measurement mitigation on every evaluation's counts.
+  bool m3 = false;
+  /// Step III: CVaR aggregation of the cost (paper coefficient 0.3).
+  bool cvar = false;
+  double cvar_alpha = 0.3;
+  /// Classical optimizer driving the machine-in-loop training:
+  /// "cobyla" (paper default) | "spsa" | "neldermead".
+  std::string optimizer = "cobyla";
+  /// Shots for the M3 readout-calibration programs.
+  std::size_t calibration_shots = 4096;
+  ModelConfig model;
+  std::uint64_t seed = 2023;
+};
+
+/// Outcome of one trained run.
+struct RunResult {
+  std::string model;
+  double ar = 0.0;                 // approximation ratio of the final cost
+  double final_cost = 0.0;         // cut value under the configured metric
+  opt::OptimizeResult optimizer;   // training record
+  int iterations_to_converge = 0;
+  int mixer_layer_duration_dt = 0;
+  int makespan_dt = 0;             // full program duration
+  std::size_t swap_count = 0;
+  std::size_t num_parameters = 0;
+};
+
+/// Train one model variant on one backend with COBYLA and report the paper's
+/// metrics. The cost metric used during training matches the reported one
+/// (plain expectation, M3-mitigated, and/or CVaR).
+RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& dev,
+                   ModelKind kind, const RunConfig& config);
+
+/// Step I (paper §IV-B): binary-search the minimum mixer pulse duration that
+/// keeps the trained AR within `keep_fraction` of the 320dt baseline.
+/// Returns the search trace plus the run at the selected duration.
+struct DurationSearchOutcome {
+  opt::DurationSearchResult search;
+  RunResult final_run;
+};
+DurationSearchOutcome optimize_mixer_duration(const graph::Instance& instance,
+                                              const backend::FakeBackend& dev,
+                                              const RunConfig& config,
+                                              double keep_fraction = 0.97);
+
+}  // namespace hgp::core

@@ -1,0 +1,70 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hgp::graph {
+
+Graph random_regular(std::size_t n, std::size_t k, Rng& rng, int max_attempts) {
+  HGP_REQUIRE((n * k) % 2 == 0, "random_regular: n*k must be even");
+  HGP_REQUIRE(k < n, "random_regular: need k < n");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Configuration model: k stubs per vertex, random perfect matching.
+    std::vector<std::size_t> stubs;
+    stubs.reserve(n * k);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < k; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const std::size_t u = stubs[i], v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        ok = false;
+        break;
+      }
+      g.add_edge(u, v);
+    }
+    if (ok) return g;
+  }
+  throw Error("random_regular: failed to build a simple k-regular graph");
+}
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng, bool require_connected, int max_attempts) {
+  HGP_REQUIRE(p >= 0.0 && p <= 1.0, "erdos_renyi: p out of range");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g(n);
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = u + 1; v < n; ++v)
+        if (rng.bernoulli(p)) g.add_edge(u, v);
+    if (!require_connected || g.is_connected()) return g;
+  }
+  throw Error("erdos_renyi: failed to sample a connected graph");
+}
+
+Graph cycle(std::size_t n) {
+  HGP_REQUIRE(n >= 3, "cycle: need n >= 3");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (std::size_t u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+}  // namespace hgp::graph

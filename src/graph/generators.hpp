@@ -1,0 +1,25 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace hgp::graph {
+
+/// Random k-regular graph via the pairing (configuration) model with
+/// rejection of loops/parallel edges. Requires n*k even and k < n.
+Graph random_regular(std::size_t n, std::size_t k, Rng& rng, int max_attempts = 1000);
+
+/// Erdős–Rényi G(n, p); optionally resamples until connected.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng, bool require_connected = false,
+                  int max_attempts = 1000);
+
+/// Cycle graph C_n.
+Graph cycle(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Complete bipartite K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+}  // namespace hgp::graph

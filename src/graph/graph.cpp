@@ -1,0 +1,95 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hgp::graph {
+
+Graph Graph::from_edges(std::size_t num_vertices,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  Graph g(num_vertices);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v, double weight) {
+  HGP_REQUIRE(u < n_ && v < n_, "Graph::add_edge: vertex out of range");
+  HGP_REQUIRE(u != v, "Graph::add_edge: self-loop");
+  HGP_REQUIRE(!has_edge(u, v), "Graph::add_edge: parallel edge");
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v), weight});
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  const std::size_t a = std::min(u, v), b = std::max(u, v);
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [&](const Edge& e) { return e.u == a && e.v == b; });
+}
+
+std::vector<std::size_t> Graph::neighbors(std::size_t u) const {
+  std::vector<std::size_t> out;
+  for (const Edge& e : edges_) {
+    if (e.u == u) out.push_back(e.v);
+    if (e.v == u) out.push_back(e.u);
+  }
+  return out;
+}
+
+std::size_t Graph::degree(std::size_t u) const { return neighbors(u).size(); }
+
+bool Graph::is_regular(std::size_t k) const {
+  for (std::size_t u = 0; u < n_; ++u)
+    if (degree(u) != k) return false;
+  return true;
+}
+
+bool Graph::is_connected() const {
+  if (n_ == 0) return true;
+  std::vector<bool> seen(n_, false);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::size_t v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == n_;
+}
+
+double Graph::total_weight() const {
+  double s = 0.0;
+  for (const Edge& e : edges_) s += e.weight;
+  return s;
+}
+
+double Graph::cut_value(std::uint64_t partition) const {
+  double cut = 0.0;
+  for (const Edge& e : edges_) {
+    const bool su = (partition >> e.u) & 1;
+    const bool sv = (partition >> e.v) & 1;
+    if (su != sv) cut += e.weight;
+  }
+  return cut;
+}
+
+std::string Graph::str() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << edges_.size() << "): ";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << edges_[i].u << "," << edges_[i].v << ")";
+  }
+  return os.str();
+}
+
+}  // namespace hgp::graph

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hgp::graph {
+
+/// An undirected edge with a weight (Max-Cut instances are weighted in
+/// general; the paper's benchmarks are unweighted, weight = 1).
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double weight = 1.0;
+};
+
+/// Simple undirected graph. Parallel edges and self-loops are rejected —
+/// Max-Cut and QAOA encodings assume a simple graph.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : n_(num_vertices) {}
+
+  static Graph from_edges(std::size_t num_vertices,
+                          const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+  void add_edge(std::size_t u, std::size_t v, double weight = 1.0);
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// Neighbors of vertex u.
+  std::vector<std::size_t> neighbors(std::size_t u) const;
+  std::size_t degree(std::size_t u) const;
+  /// True when every vertex has degree k.
+  bool is_regular(std::size_t k) const;
+  /// Connectivity via BFS (isolated vertices count as disconnected).
+  bool is_connected() const;
+  /// Total edge weight.
+  double total_weight() const;
+
+  /// Cut value of a partition given as a bitmask (bit u = side of vertex u).
+  double cut_value(std::uint64_t partition) const;
+
+  std::string str() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace hgp::graph

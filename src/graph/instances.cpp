@@ -1,0 +1,40 @@
+#include "graph/instances.hpp"
+
+#include "graph/generators.hpp"
+
+namespace hgp::graph {
+
+Instance paper_task1() {
+  return Instance{"3-regular-6 (task 1)", complete_bipartite(3, 3), 9.0};
+}
+
+Instance paper_task2() {
+  // K3,3 with edge (0,3) rewired to (0,1): still 9 edges, one triangle
+  // (0,1,4), so the best cut loses exactly one edge.
+  Graph g = Graph::from_edges(
+      6, {{0, 1}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}});
+  return Instance{"erdos-renyi-6 (task 2)", std::move(g), 8.0};
+}
+
+Instance paper_task3() {
+  // Wagner graph: C8 plus the four diameters.
+  Graph g = Graph::from_edges(8, {{0, 1},
+                                  {1, 2},
+                                  {2, 3},
+                                  {3, 4},
+                                  {4, 5},
+                                  {5, 6},
+                                  {6, 7},
+                                  {7, 0},
+                                  {0, 4},
+                                  {1, 5},
+                                  {2, 6},
+                                  {3, 7}});
+  return Instance{"3-regular-8 (task 3)", std::move(g), 10.0};
+}
+
+std::vector<Instance> paper_instances() {
+  return {paper_task1(), paper_task2(), paper_task3()};
+}
+
+}  // namespace hgp::graph

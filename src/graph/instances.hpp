@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hgp::graph {
+
+/// A named benchmark instance with its (brute-force verified) optimum.
+struct Instance {
+  std::string name;
+  Graph graph;
+  double max_cut = 0.0;
+};
+
+/// Task 1 (paper Fig. 4-1): 3-regular, 6 nodes, Max-Cut = 9. The unique such
+/// graph with a perfect cut is K3,3.
+Instance paper_task1();
+
+/// Task 2 (paper Fig. 4-2): Erdős–Rényi, 6 nodes, Max-Cut = 8. Frozen sample
+/// with 9 edges and one frustrated triangle.
+Instance paper_task2();
+
+/// Task 3 (paper Fig. 4-3): 3-regular, 8 nodes, Max-Cut = 10. The Wagner
+/// (Möbius–Kantor ladder) graph V8.
+Instance paper_task3();
+
+/// All three tasks in paper order.
+std::vector<Instance> paper_instances();
+
+}  // namespace hgp::graph

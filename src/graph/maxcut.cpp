@@ -1,0 +1,56 @@
+#include "graph/maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace hgp::graph {
+
+CutResult max_cut_brute_force(const Graph& g) {
+  HGP_REQUIRE(g.num_vertices() <= 30, "max_cut_brute_force: graph too large");
+  CutResult best;
+  if (g.num_vertices() == 0) return best;
+  // Fix vertex 0 to side 0 (the cut is invariant under global flip): the
+  // partition bits of vertices 1..n-1 are the bits 0..n-2 of `part`.
+  const std::uint64_t limit = std::uint64_t{1} << (g.num_vertices() - 1);
+  for (std::uint64_t part = 0; part < limit; ++part) {
+    const std::uint64_t partition = part << 1;
+    const double value = g.cut_value(partition);
+    if (value > best.value) {
+      best.partition = partition;
+      best.value = value;
+    }
+  }
+  return best;
+}
+
+CutResult max_cut_local_search(const Graph& g, Rng& rng, int restarts) {
+  const std::size_t n = g.num_vertices();
+  CutResult best;
+  for (int r = 0; r < restarts; ++r) {
+    std::uint64_t part = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      if (rng.bernoulli(0.5)) part |= (std::uint64_t{1} << v);
+    double value = g.cut_value(part);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint64_t flipped = part ^ (std::uint64_t{1} << v);
+        const double fv = g.cut_value(flipped);
+        if (fv > value) {
+          part = flipped;
+          value = fv;
+          improved = true;
+        }
+      }
+    }
+    if (value > best.value || r == 0) {
+      best.partition = part;
+      best.value = value;
+    }
+  }
+  return best;
+}
+
+double random_cut_expectation(const Graph& g) { return g.total_weight() / 2.0; }
+
+}  // namespace hgp::graph

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace hgp::graph {
+
+/// A Max-Cut solution: partition bitmask + cut weight.
+struct CutResult {
+  std::uint64_t partition = 0;
+  double value = 0.0;
+};
+
+/// Exact Max-Cut by exhaustive enumeration (n <= 30; the paper's instances
+/// have 6-8 vertices).
+CutResult max_cut_brute_force(const Graph& g);
+
+/// Greedy vertex-by-vertex assignment followed by 1-flip local search —
+/// the classical baseline used for context in examples.
+CutResult max_cut_local_search(const Graph& g, Rng& rng, int restarts = 16);
+
+/// Expected cut of a uniformly random partition (= total_weight / 2); the
+/// floor any optimizer should beat.
+double random_cut_expectation(const Graph& g);
+
+}  // namespace hgp::graph

@@ -1,0 +1,125 @@
+#include "linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/vec.hpp"
+
+namespace hgp::la {
+
+namespace {
+
+/// Cyclic Jacobi on a real symmetric matrix stored densely. Returns
+/// eigenvalues in `d` and accumulates rotations into `v` (columns are
+/// eigenvectors).
+void jacobi_real_symmetric(std::vector<double>& a, std::size_t n, std::vector<double>& d,
+                           std::vector<double>& v, double tol, int max_sweeps) {
+  auto at = [&](std::size_t i, std::size_t j) -> double& { return a[i * n + j]; };
+  auto vt = [&](std::size_t i, std::size_t j) -> double& { return v[i * n + j]; };
+
+  std::fill(v.begin(), v.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) vt(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = at(p, p);
+        const double aqq = at(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        double t = 0.0;
+        if (tau >= 0.0)
+          t = 1.0 / (tau + std::sqrt(1.0 + tau * tau));
+        else
+          t = -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = at(k, p);
+          const double akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = at(p, k);
+          const double aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = vt(k, p);
+          const double vkq = vt(k, q);
+          vt(k, p) = c * vkp - s * vkq;
+          vt(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  d.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+}
+
+}  // namespace
+
+EigResult eigh(const CMat& m, double tol, int max_sweeps) {
+  HGP_REQUIRE(m.rows() == m.cols(), "eigh: not square");
+  HGP_REQUIRE(m.is_hermitian(1e-8), "eigh: matrix is not Hermitian");
+  const std::size_t n = m.rows();
+  const std::size_t n2 = 2 * n;
+
+  // Real embedding: A = X + iY  ->  [[X, -Y], [Y, X]] (symmetric since
+  // X = X^T and Y = -Y^T for Hermitian A).
+  std::vector<double> a(n2 * n2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double x = m(i, j).real();
+      const double y = m(i, j).imag();
+      a[i * n2 + j] = x;
+      a[(i + n) * n2 + (j + n)] = x;
+      a[i * n2 + (j + n)] = -y;
+      a[(i + n) * n2 + j] = y;
+    }
+  }
+
+  std::vector<double> d;
+  std::vector<double> v(n2 * n2, 0.0);
+  jacobi_real_symmetric(a, n2, d, v, tol, max_sweeps);
+
+  // Each complex eigenvector appears twice in the embedding ((u;v) and
+  // (-v;u)). Sort by eigenvalue and keep n orthonormal complex vectors via
+  // Gram-Schmidt against the already-selected set.
+  std::vector<std::size_t> order(n2);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+
+  EigResult out;
+  out.vectors = CMat(n, n);
+  std::vector<CVec> picked;
+  for (std::size_t idx : order) {
+    if (picked.size() == n) break;
+    CVec z(n);
+    for (std::size_t i = 0; i < n; ++i) z[i] = cxd{v[i * n2 + idx], v[(i + n) * n2 + idx]};
+    // Project out previously selected vectors.
+    for (const CVec& p : picked) axpy(-dot(p, z), p, z);
+    const double nz = norm(z);
+    if (nz < 1e-6) continue;  // the duplicate partner of an already-kept vector
+    for (cxd& x : z) x /= nz;
+    out.values.push_back(d[idx]);
+    picked.push_back(std::move(z));
+  }
+  HGP_REQUIRE(picked.size() == n, "eigh: failed to extract a full eigenbasis");
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = picked[j][i];
+  return out;
+}
+
+}  // namespace hgp::la

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgp::la {
+
+/// Eigendecomposition of a Hermitian matrix: A = V diag(values) V†.
+/// `vectors` holds orthonormal eigenvectors as columns, ordered by ascending
+/// eigenvalue.
+struct EigResult {
+  std::vector<double> values;
+  CMat vectors;
+};
+
+/// Hermitian eigensolver. Internally embeds the n×n complex Hermitian matrix
+/// into a 2n×2n real symmetric one ([[X,-Y],[Y,X]] for A = X + iY), runs
+/// cyclic Jacobi, and reassembles complex eigenvectors with a Gram-Schmidt
+/// pass over each (doubled) eigenspace.
+EigResult eigh(const CMat& a, double tol = 1e-12, int max_sweeps = 100);
+
+}  // namespace hgp::la

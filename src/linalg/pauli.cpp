@@ -1,0 +1,175 @@
+#include "linalg/pauli.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::la {
+
+PauliString PauliString::parse(const std::string& s) {
+  std::vector<Pauli> ops(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    // Leftmost char = highest qubit.
+    const char c = s[i];
+    const std::size_t q = s.size() - 1 - i;
+    switch (c) {
+      case 'I': ops[q] = Pauli::I; break;
+      case 'X': ops[q] = Pauli::X; break;
+      case 'Y': ops[q] = Pauli::Y; break;
+      case 'Z': ops[q] = Pauli::Z; break;
+      default: HGP_REQUIRE(false, std::string("PauliString::parse: bad char '") + c + "'");
+    }
+  }
+  return PauliString(std::move(ops));
+}
+
+PauliString PauliString::identity(std::size_t n) {
+  return PauliString(std::vector<Pauli>(n, Pauli::I));
+}
+
+PauliString PauliString::single(std::size_t n, std::size_t q, Pauli p) {
+  HGP_REQUIRE(q < n, "PauliString::single: qubit out of range");
+  std::vector<Pauli> ops(n, Pauli::I);
+  ops[q] = p;
+  return PauliString(std::move(ops));
+}
+
+std::size_t PauliString::weight() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(), [](Pauli p) { return p != Pauli::I; }));
+}
+
+bool PauliString::is_diagonal() const {
+  return std::all_of(ops_.begin(), ops_.end(),
+                     [](Pauli p) { return p == Pauli::I || p == Pauli::Z; });
+}
+
+std::string PauliString::str() const {
+  std::string s(ops_.size(), 'I');
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    const char c = "IXYZ"[static_cast<int>(ops_[q])];
+    s[ops_.size() - 1 - q] = c;
+  }
+  return s;
+}
+
+CVec PauliString::apply(const CVec& v) const {
+  const std::size_t n = ops_.size();
+  HGP_REQUIRE(v.size() == (std::size_t{1} << n), "PauliString::apply: dimension mismatch");
+
+  // Precompute: X/Y flip bit q, Y/Z contribute phases.
+  std::uint64_t flip_mask = 0;
+  for (std::size_t q = 0; q < n; ++q)
+    if (ops_[q] == Pauli::X || ops_[q] == Pauli::Y) flip_mask |= (std::uint64_t{1} << q);
+
+  CVec out(v.size());
+  for (std::uint64_t i = 0; i < v.size(); ++i) {
+    const std::uint64_t j = i ^ flip_mask;
+    // phase for mapping |i> component: out[j] += phase * v[i]
+    cxd phase{1.0, 0.0};
+    for (std::size_t q = 0; q < n; ++q) {
+      const bool bit = (i >> q) & 1;
+      switch (ops_[q]) {
+        case Pauli::I: break;
+        case Pauli::X: break;
+        case Pauli::Y: phase *= bit ? cxd{0.0, -1.0} : cxd{0.0, 1.0}; break;
+        case Pauli::Z: phase *= bit ? -1.0 : 1.0; break;
+      }
+    }
+    out[j] += phase * v[i];
+  }
+  return out;
+}
+
+double PauliString::expectation(const CVec& v) const {
+  const CVec pv = apply(v);
+  cxd s{0.0, 0.0};
+  for (std::size_t i = 0; i < v.size(); ++i) s += std::conj(v[i]) * pv[i];
+  return s.real();
+}
+
+CMat PauliString::matrix() const {
+  CMat m = CMat::identity(1);
+  // kron(a, b): a = most significant; qubit n-1 is leftmost factor.
+  for (std::size_t qi = ops_.size(); qi-- > 0;) {
+    if (m.rows() == 1)
+      m = pauli_matrix(ops_[qi]);
+    else
+      m = kron(m, pauli_matrix(ops_[qi]));
+  }
+  // Walk from highest qubit down so the final matrix is P_{n-1} ⊗ ... ⊗ P_0,
+  // consistent with little-endian statevector indexing.
+  return m;
+}
+
+double PauliString::diagonal_eigenvalue(std::uint64_t bits) const {
+  HGP_REQUIRE(is_diagonal(), "diagonal_eigenvalue: string has X/Y factors");
+  double v = 1.0;
+  for (std::size_t q = 0; q < ops_.size(); ++q)
+    if (ops_[q] == Pauli::Z && ((bits >> q) & 1)) v = -v;
+  return v;
+}
+
+void PauliSum::add(double coeff, PauliString s) {
+  if (num_qubits_ == 0) num_qubits_ = s.num_qubits();
+  HGP_REQUIRE(s.num_qubits() == num_qubits_, "PauliSum::add: qubit count mismatch");
+  terms_.push_back(PauliTerm{coeff, std::move(s)});
+}
+
+bool PauliSum::is_diagonal() const {
+  return std::all_of(terms_.begin(), terms_.end(),
+                     [](const PauliTerm& t) { return t.string.is_diagonal(); });
+}
+
+double PauliSum::expectation(const CVec& v) const {
+  double s = 0.0;
+  for (const PauliTerm& t : terms_) s += t.coeff * t.string.expectation(v);
+  return s;
+}
+
+CMat PauliSum::matrix() const {
+  HGP_REQUIRE(num_qubits_ <= 12, "PauliSum::matrix: too many qubits for a dense matrix");
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  CMat m(dim, dim);
+  for (const PauliTerm& t : terms_) m += t.string.matrix() * cxd{t.coeff, 0.0};
+  return m;
+}
+
+double PauliSum::energy(std::uint64_t bits) const {
+  double e = 0.0;
+  for (const PauliTerm& t : terms_) e += t.coeff * t.string.diagonal_eigenvalue(bits);
+  return e;
+}
+
+double PauliSum::min_energy() const {
+  HGP_REQUIRE(is_diagonal() && num_qubits_ <= 24, "min_energy: need a small diagonal sum");
+  double best = energy(0);
+  for (std::uint64_t b = 1; b < (std::uint64_t{1} << num_qubits_); ++b)
+    best = std::min(best, energy(b));
+  return best;
+}
+
+double PauliSum::max_energy() const {
+  HGP_REQUIRE(is_diagonal() && num_qubits_ <= 24, "max_energy: need a small diagonal sum");
+  double best = energy(0);
+  for (std::uint64_t b = 1; b < (std::uint64_t{1} << num_qubits_); ++b)
+    best = std::max(best, energy(b));
+  return best;
+}
+
+const CMat& pauli_matrix(Pauli p) {
+  static const CMat i = CMat{{1, 0}, {0, 1}};
+  static const CMat x = CMat{{0, 1}, {1, 0}};
+  static const CMat y = CMat{{0, cxd{0, -1}}, {cxd{0, 1}, 0}};
+  static const CMat z = CMat{{1, 0}, {0, -1}};
+  switch (p) {
+    case Pauli::I: return i;
+    case Pauli::X: return x;
+    case Pauli::Y: return y;
+    case Pauli::Z: return z;
+  }
+  throw Error("pauli_matrix: bad enum");
+}
+
+}  // namespace hgp::la

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/types.hpp"
+
+namespace hgp::la {
+
+enum class Pauli : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/// Tensor product of single-qubit Paulis over n qubits. Index q in `ops`
+/// refers to qubit q (little-endian statevector convention: qubit q is bit q
+/// of the basis index).
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(std::vector<Pauli> ops) : ops_(std::move(ops)) {}
+  /// Parse e.g. "ZIZ" — leftmost character is the HIGHEST qubit, matching
+  /// the usual textbook big-endian print order.
+  static PauliString parse(const std::string& s);
+  /// All-identity string on n qubits.
+  static PauliString identity(std::size_t n);
+  /// Single non-identity Pauli p on qubit q of an n-qubit register.
+  static PauliString single(std::size_t n, std::size_t q, Pauli p);
+
+  std::size_t num_qubits() const { return ops_.size(); }
+  Pauli op(std::size_t q) const { return ops_[q]; }
+  /// Number of non-identity factors.
+  std::size_t weight() const;
+  /// True if all factors are I or Z (string is diagonal in the Z basis).
+  bool is_diagonal() const;
+  std::string str() const;
+
+  bool operator==(const PauliString& o) const { return ops_ == o.ops_; }
+
+  /// out = (this) |v>, for a statevector on exactly num_qubits() qubits.
+  CVec apply(const CVec& v) const;
+  /// <v| this |v> (real for Hermitian Pauli strings).
+  double expectation(const CVec& v) const;
+  /// Dense 2^n x 2^n matrix (small n only).
+  CMat matrix() const;
+  /// For a diagonal string: eigenvalue on the computational basis state
+  /// `bits` (bit q of `bits` = measured value of qubit q).
+  double diagonal_eigenvalue(std::uint64_t bits) const;
+
+ private:
+  std::vector<Pauli> ops_;
+};
+
+/// One weighted term of a Pauli-sum operator.
+struct PauliTerm {
+  double coeff = 0.0;
+  PauliString string;
+};
+
+/// Real-weighted sum of Pauli strings; the Hermitian observables used as VQA
+/// cost Hamiltonians.
+class PauliSum {
+ public:
+  PauliSum() = default;
+  explicit PauliSum(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  void add(double coeff, PauliString s);
+  void add(double coeff, const std::string& s) { add(coeff, PauliString::parse(s)); }
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return terms_.size(); }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+
+  bool is_diagonal() const;
+  double expectation(const CVec& v) const;
+  CMat matrix() const;
+  /// For diagonal sums: energy of the computational basis state `bits`.
+  double energy(std::uint64_t bits) const;
+  /// Extremal energies of a diagonal sum by exhaustive scan over basis
+  /// states (n <= ~24).
+  double min_energy() const;
+  double max_energy() const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<PauliTerm> terms_;
+};
+
+/// The four single-qubit Pauli matrices.
+const CMat& pauli_matrix(Pauli p);
+
+}  // namespace hgp::la

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgp::la {
+
+/// Solve A x = b by LU decomposition with partial pivoting (A copied).
+CVec lu_solve(const CMat& a, const CVec& b);
+
+/// Result of an iterative real-valued solve.
+struct GmresResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Restarted GMRES over real vectors with a matrix-free operator. Used by the
+/// M3 measurement-mitigation routine, whose reduced assignment matrix is only
+/// available as a matvec.
+GmresResult gmres(const std::function<std::vector<double>(const std::vector<double>&)>& matvec,
+                  const std::vector<double>& b, int max_iter = 200, double tol = 1e-10,
+                  int restart = 50);
+
+}  // namespace hgp::la

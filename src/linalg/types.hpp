@@ -1,0 +1,16 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace hgp::la {
+
+using cxd = std::complex<double>;
+/// Dense complex vector; used for statevectors (little-endian qubit order:
+/// basis index i has qubit q in bit q of i).
+using CVec = std::vector<cxd>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr cxd kI{0.0, 1.0};
+
+}  // namespace hgp::la

@@ -1,0 +1,64 @@
+#include "linalg/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::la {
+
+cxd dot(const CVec& a, const CVec& b) {
+  HGP_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  cxd s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double norm(const CVec& v) {
+  double s = 0.0;
+  for (const cxd& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+void normalize(CVec& v) {
+  const double n = norm(v);
+  HGP_REQUIRE(n > 1e-300, "normalize: zero vector");
+  for (cxd& x : v) x /= n;
+}
+
+void axpy(cxd alpha, const CVec& x, CVec& y) {
+  HGP_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(cxd alpha, CVec& v) {
+  for (cxd& x : v) x *= alpha;
+}
+
+double max_abs_diff(const CVec& a, const CVec& b) {
+  HGP_REQUIRE(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double fidelity(const CVec& a, const CVec& b) { return std::norm(dot(a, b)); }
+
+double max_abs_diff_up_to_phase(const CVec& a, const CVec& b) {
+  HGP_REQUIRE(a.size() == b.size(), "max_abs_diff_up_to_phase: size mismatch");
+  std::size_t ref = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i]) > best) {
+      best = std::abs(a[i]);
+      ref = i;
+    }
+  }
+  if (best < 1e-300 || std::abs(b[ref]) < 1e-300) return max_abs_diff(a, b);
+  const cxd phase = (b[ref] / std::abs(b[ref])) / (a[ref] / std::abs(a[ref]));
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] * phase - b[i]));
+  return m;
+}
+
+}  // namespace hgp::la

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "linalg/types.hpp"
+
+namespace hgp::la {
+
+/// <a|b> with the left argument conjugated.
+cxd dot(const CVec& a, const CVec& b);
+/// Euclidean norm.
+double norm(const CVec& v);
+/// Scale v in place so that norm(v) == 1; throws on (near-)zero vectors.
+void normalize(CVec& v);
+/// y += alpha * x.
+void axpy(cxd alpha, const CVec& x, CVec& y);
+/// v *= alpha.
+void scale(cxd alpha, CVec& v);
+/// max_i |a_i - b_i|.
+double max_abs_diff(const CVec& a, const CVec& b);
+/// |<a|b>|^2, the overlap probability between two normalized states.
+double fidelity(const CVec& a, const CVec& b);
+/// max_i |a_i - b_i| ignoring a global phase (aligns phases on the largest
+/// component of a first). Used to compare unitary evolutions.
+double max_abs_diff_up_to_phase(const CVec& a, const CVec& b);
+
+}  // namespace hgp::la

@@ -1,0 +1,90 @@
+#include "mitigation/shadows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::mit {
+
+using la::Pauli;
+
+ClassicalShadow ClassicalShadow::collect(const qc::Circuit& prep, std::size_t snapshots,
+                                         Rng& rng) {
+  HGP_REQUIRE(snapshots >= 1, "ClassicalShadow: need at least one snapshot");
+  ClassicalShadow out;
+  out.num_qubits_ = prep.num_qubits();
+  out.snapshots_.reserve(snapshots);
+
+  sim::Statevector base(prep.num_qubits());
+  base.run(prep);
+
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    ShadowSnapshot snap;
+    snap.basis.resize(prep.num_qubits());
+    sim::Statevector sv = base;
+    for (std::size_t q = 0; q < prep.num_qubits(); ++q) {
+      const int pick = rng.uniform_int(0, 2);
+      snap.basis[q] = static_cast<Pauli>(pick + 1);  // X, Y or Z
+      // Rotate the measurement basis onto Z.
+      if (snap.basis[q] == Pauli::X) {
+        sv.apply_matrix(qc::gate_matrix(qc::GateKind::H), {q});
+      } else if (snap.basis[q] == Pauli::Y) {
+        sv.apply_matrix(qc::gate_matrix(qc::GateKind::Sdg), {q});
+        sv.apply_matrix(qc::gate_matrix(qc::GateKind::H), {q});
+      }
+    }
+    snap.bits = sv.sample(1, rng).begin()->first;
+    out.snapshots_.push_back(std::move(snap));
+  }
+  return out;
+}
+
+double ClassicalShadow::estimate(const la::PauliString& obs, int groups) const {
+  HGP_REQUIRE(obs.num_qubits() == num_qubits_, "ClassicalShadow: observable width mismatch");
+  HGP_REQUIRE(groups >= 1, "ClassicalShadow: need >= 1 group");
+
+  // Per-snapshot estimator: 0 unless every non-identity factor was measured
+  // in the matching basis; then 3^weight * Π(±1).
+  auto single = [&](const ShadowSnapshot& snap) -> double {
+    double value = 1.0;
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+      const Pauli p = obs.op(q);
+      if (p == Pauli::I) continue;
+      if (snap.basis[q] != p) return 0.0;
+      value *= 3.0 * (((snap.bits >> q) & 1) ? -1.0 : 1.0);
+    }
+    return value;
+  };
+
+  // Median of means over `groups` chunks.
+  const std::size_t per_group = std::max<std::size_t>(1, snapshots_.size() / groups);
+  std::vector<double> means;
+  for (std::size_t g = 0; g * per_group < snapshots_.size(); ++g) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = g * per_group;
+         i < std::min(snapshots_.size(), (g + 1) * per_group); ++i) {
+      sum += single(snapshots_[i]);
+      ++count;
+    }
+    if (count > 0) means.push_back(sum / static_cast<double>(count));
+  }
+  std::sort(means.begin(), means.end());
+  const std::size_t m = means.size();
+  return m % 2 == 1 ? means[m / 2] : 0.5 * (means[m / 2 - 1] + means[m / 2]);
+}
+
+double ClassicalShadow::estimate(const la::PauliSum& obs, int groups) const {
+  double total = 0.0;
+  for (const la::PauliTerm& term : obs.terms()) {
+    if (term.string.weight() == 0) {
+      total += term.coeff;  // identity term
+      continue;
+    }
+    total += term.coeff * estimate(term.string, groups);
+  }
+  return total;
+}
+
+}  // namespace hgp::mit

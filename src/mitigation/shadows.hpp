@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "linalg/pauli.hpp"
+#include "sim/statevector.hpp"
+
+namespace hgp::mit {
+
+/// Classical shadows with random single-qubit Pauli measurements (Huang,
+/// Kueng, Preskill 2020) — the "measurement reduction / classical shadows"
+/// entry of the paper's Step III menu. One snapshot = a random X/Y/Z basis
+/// choice per qubit plus the measured bit; Pauli observables are estimated
+/// by the standard 3^weight inverse-channel formula with median-of-means.
+struct ShadowSnapshot {
+  std::vector<la::Pauli> basis;  // measurement basis per qubit (X, Y or Z)
+  std::uint64_t bits = 0;        // outcome per qubit
+};
+
+class ClassicalShadow {
+ public:
+  /// Collect `snapshots` single-shot random-basis measurements of the state
+  /// prepared by `prep` (ideal statevector execution).
+  static ClassicalShadow collect(const qc::Circuit& prep, std::size_t snapshots, Rng& rng);
+
+  std::size_t size() const { return snapshots_.size(); }
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::vector<ShadowSnapshot>& snapshots() const { return snapshots_; }
+
+  /// Median-of-means estimate of <P> for a Pauli string (k groups).
+  double estimate(const la::PauliString& obs, int groups = 8) const;
+  /// Estimate of a full Pauli-sum observable.
+  double estimate(const la::PauliSum& obs, int groups = 8) const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<ShadowSnapshot> snapshots_;
+};
+
+}  // namespace hgp::mit

@@ -1,0 +1,46 @@
+#include "mitigation/zne.hpp"
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+
+namespace hgp::mit {
+
+qc::Circuit fold_gates(const qc::Circuit& circuit, int scale_factor) {
+  HGP_REQUIRE(scale_factor >= 1 && scale_factor % 2 == 1,
+              "fold_gates: scale factor must be odd and >= 1");
+  qc::Circuit out(circuit.num_qubits());
+  const int extra_pairs = (scale_factor - 1) / 2;
+  for (const qc::Op& op : circuit.ops()) {
+    out.append(op);
+    if (op.kind == qc::GateKind::Barrier || op.kind == qc::GateKind::Measure) continue;
+    if (op.kind == qc::GateKind::RZ || op.kind == qc::GateKind::P) continue;  // virtual
+    for (int k = 0; k < extra_pairs; ++k) {
+      // G† then G: build the inverse via a one-op circuit.
+      qc::Circuit one(circuit.num_qubits());
+      one.append(op);
+      const qc::Circuit inverse = one.inverse();
+      for (const qc::Op& inv : inverse.ops()) out.append(inv);
+      out.append(op);
+    }
+  }
+  return out;
+}
+
+double richardson_extrapolate(const std::vector<std::pair<double, double>>& samples) {
+  HGP_REQUIRE(samples.size() >= 2, "richardson_extrapolate: need >= 2 samples");
+  // Fit a polynomial of degree (k-1) through the k samples; evaluate at 0 —
+  // equivalent to Lagrange interpolation at x = 0.
+  double result = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double basis = 1.0;
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      if (i == j) continue;
+      basis *= (0.0 - samples[j].first) / (samples[i].first - samples[j].first);
+    }
+    result += samples[i].second * basis;
+  }
+  return result;
+}
+
+}  // namespace hgp::mit

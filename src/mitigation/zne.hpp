@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace hgp::mit {
+
+/// Global unitary folding for zero-noise extrapolation: scale factor s
+/// (odd) replaces every non-virtual gate G by G (G† G)^((s-1)/2), amplifying
+/// incoherent gate noise by ~s while preserving the unitary.
+qc::Circuit fold_gates(const qc::Circuit& circuit, int scale_factor);
+
+/// Richardson/polynomial extrapolation of (scale, value) samples to scale 0.
+/// With two points this is linear extrapolation; with three, quadratic.
+double richardson_extrapolate(const std::vector<std::pair<double, double>>& samples);
+
+}  // namespace hgp::mit

@@ -1,0 +1,41 @@
+#include "optimize/duration_search.hpp"
+
+#include "common/error.hpp"
+
+namespace hgp::opt {
+
+DurationSearchResult binary_search_duration(const std::function<double(int)>& score_at,
+                                            int initial_duration, int granularity,
+                                            double keep_fraction) {
+  HGP_REQUIRE(granularity > 0, "binary_search_duration: bad granularity");
+  HGP_REQUIRE(initial_duration >= granularity && initial_duration % granularity == 0,
+              "binary_search_duration: initial duration must be a positive multiple of the "
+              "granularity");
+
+  DurationSearchResult out;
+  out.baseline_score = score_at(initial_duration);
+  out.trace.emplace_back(initial_duration, out.baseline_score);
+  const double floor = keep_fraction * out.baseline_score;
+
+  int lo = 1;                                   // in units of granularity
+  int hi = initial_duration / granularity;     // known-good
+  out.best_duration = initial_duration;
+  out.best_score = out.baseline_score;
+
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const int duration = mid * granularity;
+    const double score = score_at(duration);
+    out.trace.emplace_back(duration, score);
+    if (score >= floor) {
+      hi = mid;
+      out.best_duration = duration;
+      out.best_score = score;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace hgp::opt

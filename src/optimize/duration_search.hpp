@@ -1,0 +1,26 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hgp::opt {
+
+/// Step I of the paper's workflow (§IV-B): binary search for the minimum
+/// pulse duration (in multiples of the hardware granularity, 32 dt for
+/// Gaussian waveforms) that keeps the trained score within `keep_fraction`
+/// of the full-duration baseline.
+struct DurationSearchResult {
+  int best_duration = 0;
+  double baseline_score = 0.0;
+  double best_score = 0.0;
+  /// (duration, score) pairs in evaluation order, including the baseline.
+  std::vector<std::pair<int, double>> trace;
+};
+
+/// `score_at` must return the (higher-is-better) trained score of the model
+/// with the pulse layer rescaled to the given duration.
+DurationSearchResult binary_search_duration(const std::function<double(int)>& score_at,
+                                            int initial_duration, int granularity = 32,
+                                            double keep_fraction = 0.97);
+
+}  // namespace hgp::opt

@@ -1,0 +1,76 @@
+#include "optimize/gradient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::opt {
+
+std::vector<double> parameter_shift_gradient(const Objective& f, const std::vector<double>& x,
+                                             double shift) {
+  std::vector<double> g(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += shift;
+    xm[i] -= shift;
+    g[i] = (f(xp) - f(xm)) / (2.0 * std::sin(shift));
+  }
+  return g;
+}
+
+std::vector<double> finite_difference_gradient(const Objective& f, const std::vector<double>& x,
+                                               double eps) {
+  std::vector<double> g(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    g[i] = (f(xp) - f(xm)) / (2.0 * eps);
+  }
+  return g;
+}
+
+OptimizeResult Adam::minimize(const Objective& f, std::vector<double> x0,
+                              const Bounds& bounds) const {
+  const std::size_t n = x0.size();
+  HGP_REQUIRE(n >= 1, "Adam: empty parameter vector");
+  OptimizeResult out;
+  bounds.clip(x0);
+
+  std::vector<double> x = x0, m(n, 0.0), v(n, 0.0);
+  double best_val = f(x);
+  std::vector<double> best_x = x;
+  out.evaluations = 1;
+
+  for (int k = 1; k <= options_.max_iterations; ++k) {
+    const std::vector<double> g =
+        options_.mode == GradientMode::ParameterShift
+            ? parameter_shift_gradient(f, x)
+            : finite_difference_gradient(f, x, options_.fd_eps);
+    out.evaluations += static_cast<int>(2 * n);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      m[j] = options_.beta1 * m[j] + (1.0 - options_.beta1) * g[j];
+      v[j] = options_.beta2 * v[j] + (1.0 - options_.beta2) * g[j] * g[j];
+      const double mhat = m[j] / (1.0 - std::pow(options_.beta1, k));
+      const double vhat = v[j] / (1.0 - std::pow(options_.beta2, k));
+      x[j] -= options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+    }
+    bounds.clip(x);
+
+    const double fx = f(x);
+    ++out.evaluations;
+    if (fx < best_val) {
+      best_val = fx;
+      best_x = x;
+    }
+    out.history.push_back(best_val);
+    ++out.iterations;
+  }
+  out.x = std::move(best_x);
+  out.value = best_val;
+  out.converged = true;
+  return out;
+}
+
+}  // namespace hgp::opt

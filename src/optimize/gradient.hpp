@@ -1,0 +1,45 @@
+#pragma once
+
+#include "optimize/optimizer.hpp"
+
+namespace hgp::opt {
+
+/// Gradient estimate by the parameter-shift rule (exact for expectation
+/// values of circuits whose gates are e^{-iθP/2}; with shot noise it is an
+/// unbiased estimator). shift = π/2 reproduces the textbook rule.
+std::vector<double> parameter_shift_gradient(const Objective& f, const std::vector<double>& x,
+                                             double shift = 1.5707963267948966);
+
+/// Central finite differences (for pulse parameters, where no shift rule
+/// applies).
+std::vector<double> finite_difference_gradient(const Objective& f, const std::vector<double>& x,
+                                               double eps = 1e-3);
+
+/// Adam on top of one of the gradient estimators above — the "enabling
+/// gradient descent for pulse-level VQAs" baseline the paper cites.
+class Adam : public Optimizer {
+ public:
+  enum class GradientMode { ParameterShift, FiniteDifference };
+
+  struct Options {
+    int max_iterations = 100;
+    double learning_rate = 0.1;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    GradientMode mode = GradientMode::FiniteDifference;
+    double fd_eps = 1e-3;
+  };
+
+  Adam() = default;
+  explicit Adam(Options options) : options_(options) {}
+
+  OptimizeResult minimize(const Objective& f, std::vector<double> x0,
+                          const Bounds& bounds = {}) const override;
+  std::string name() const override { return "Adam"; }
+
+ private:
+  Options options_ = {};
+};
+
+}  // namespace hgp::opt

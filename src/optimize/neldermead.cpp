@@ -1,0 +1,118 @@
+#include "optimize/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hgp::opt {
+
+OptimizeResult NelderMead::minimize(const Objective& f, std::vector<double> x0,
+                                    const Bounds& bounds) const {
+  const std::size_t n = x0.size();
+  HGP_REQUIRE(n >= 1, "NelderMead: empty parameter vector");
+  OptimizeResult out;
+  bounds.clip(x0);
+
+  int evals = 0;
+  auto eval = [&](std::vector<double> x) {
+    bounds.clip(x);
+    ++evals;
+    return std::pair(f(x), x);
+  };
+
+  std::vector<std::vector<double>> pts(n + 1, x0);
+  std::vector<double> vals(n + 1);
+  {
+    auto [v, x] = eval(x0);
+    vals[0] = v;
+    pts[0] = x;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i + 1][i] += options_.initial_step;
+    auto [v, x] = eval(pts[i + 1]);
+    vals[i + 1] = v;
+    pts[i + 1] = x;
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  auto sort_simplex = [&] {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+  };
+
+  while (evals < options_.max_evaluations) {
+    sort_simplex();
+    out.history.push_back(vals[order[0]]);
+    if (std::abs(vals[order[n]] - vals[order[0]]) < options_.f_tol) {
+      out.converged = true;
+      break;
+    }
+
+    const std::size_t worst = order[n];
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += pts[k][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double coef) {
+      std::vector<double> x(n);
+      for (std::size_t j = 0; j < n; ++j)
+        x[j] = centroid[j] + coef * (pts[worst][j] - centroid[j]);
+      return x;
+    };
+
+    auto [fr, xr] = eval(along(-1.0));  // reflection
+    if (fr < vals[order[0]]) {
+      auto [fe, xe] = eval(along(-2.0));  // expansion
+      if (fe < fr) {
+        pts[worst] = xe;
+        vals[worst] = fe;
+      } else {
+        pts[worst] = xr;
+        vals[worst] = fr;
+      }
+      ++out.iterations;
+      continue;
+    }
+    if (fr < vals[order[n - 1]]) {
+      pts[worst] = xr;
+      vals[worst] = fr;
+      ++out.iterations;
+      continue;
+    }
+    // Contraction (outside if reflection helped over worst, else inside).
+    const bool outside = fr < vals[worst];
+    auto [fc, xc] = eval(along(outside ? -0.5 : 0.5));
+    if (fc < std::min(fr, vals[worst])) {
+      pts[worst] = xc;
+      vals[worst] = fc;
+      ++out.iterations;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    const std::size_t best = order[0];
+    for (std::size_t k = 0; k <= n && evals < options_.max_evaluations; ++k) {
+      if (k == best) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        pts[k][j] = pts[best][j] + 0.5 * (pts[k][j] - pts[best][j]);
+      auto [v, x] = eval(pts[k]);
+      vals[k] = v;
+      pts[k] = x;
+    }
+    ++out.iterations;
+  }
+
+  sort_simplex();
+  out.x = pts[order[0]];
+  out.value = vals[order[0]];
+  out.evaluations = evals;
+  return out;
+}
+
+}  // namespace hgp::opt

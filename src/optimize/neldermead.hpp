@@ -1,0 +1,28 @@
+#pragma once
+
+#include "optimize/optimizer.hpp"
+
+namespace hgp::opt {
+
+/// Classic Nelder–Mead downhill simplex with the standard
+/// reflect/expand/contract/shrink moves and bound clipping.
+class NelderMead : public Optimizer {
+ public:
+  struct Options {
+    int max_evaluations = 200;
+    double initial_step = 0.3;
+    double f_tol = 1e-8;
+  };
+
+  NelderMead() = default;
+  explicit NelderMead(Options options) : options_(options) {}
+
+  OptimizeResult minimize(const Objective& f, std::vector<double> x0,
+                          const Bounds& bounds = {}) const override;
+  std::string name() const override { return "Nelder-Mead"; }
+
+ private:
+  Options options_ = {};
+};
+
+}  // namespace hgp::opt

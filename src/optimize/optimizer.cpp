@@ -1,0 +1,23 @@
+#include "optimize/optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hgp::opt {
+
+void Bounds::clip(std::vector<double>& x) const {
+  if (!active()) return;
+  HGP_REQUIRE(lo.size() == x.size() && hi.size() == x.size(), "Bounds: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::clamp(x[i], lo[i], hi[i]);
+}
+
+int iterations_to_converge(const OptimizeResult& result, double tol) {
+  if (result.history.empty()) return result.iterations;
+  const double target = result.history.back() + std::abs(tol);
+  for (std::size_t i = 0; i < result.history.size(); ++i)
+    if (result.history[i] <= target) return static_cast<int>(i) + 1;
+  return static_cast<int>(result.history.size());
+}
+
+}  // namespace hgp::opt

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hgp::opt {
+
+/// Objective to minimize (VQA drivers pass the negative cost, since QAOA
+/// maximizes the cut expectation).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Box bounds; empty vectors mean unbounded. Optimizers clip candidates.
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  bool active() const { return !lo.empty(); }
+  void clip(std::vector<double>& x) const;
+};
+
+struct OptimizeResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int evaluations = 0;
+  int iterations = 0;
+  bool converged = false;
+  /// Best objective value after each iteration — convergence curves (the
+  /// paper compares pulse-level vs hybrid training speed with these).
+  std::vector<double> history;
+};
+
+/// Common interface for the derivative-free optimizers used machine-in-loop.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual OptimizeResult minimize(const Objective& f, std::vector<double> x0,
+                                  const Bounds& bounds = {}) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Iterations needed to get within `tol` of the final value — the
+/// "training time to convergence" metric of Fig. 5.
+int iterations_to_converge(const OptimizeResult& result, double tol = 0.01);
+
+}  // namespace hgp::opt

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+
+namespace hgp::pulse {
+
+/// IBM-style pulse channels. DriveChannel(q) carries single-qubit microwave
+/// drive for qubit q; ControlChannel(u) carries the cross-resonance drive of
+/// one directed coupled pair (the backend owns the u -> (control, target)
+/// map); MeasureChannel/AcquireChannel model readout.
+enum class ChannelType { Drive, Control, Measure, Acquire };
+
+struct Channel {
+  ChannelType type = ChannelType::Drive;
+  std::size_t index = 0;
+
+  static Channel drive(std::size_t q) { return {ChannelType::Drive, q}; }
+  static Channel control(std::size_t u) { return {ChannelType::Control, u}; }
+  static Channel measure(std::size_t q) { return {ChannelType::Measure, q}; }
+  static Channel acquire(std::size_t q) { return {ChannelType::Acquire, q}; }
+
+  std::string str() const {
+    static const char* prefix[] = {"d", "u", "m", "a"};
+    return std::string(prefix[static_cast<int>(type)]) + std::to_string(index);
+  }
+
+  friend bool operator==(const Channel& a, const Channel& b) {
+    return a.type == b.type && a.index == b.index;
+  }
+  friend bool operator<(const Channel& a, const Channel& b) {
+    return std::tie(a.type, a.index) < std::tie(b.type, b.index);
+  }
+};
+
+}  // namespace hgp::pulse

@@ -1,0 +1,143 @@
+#include "pulse/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hgp::pulse {
+
+Channel instruction_channel(const Instruction& inst) {
+  return std::visit(
+      [](const auto& i) -> Channel {
+        using T = std::decay_t<decltype(i)>;
+        if constexpr (std::is_same_v<T, Acquire>)
+          return Channel::acquire(i.qubit);
+        else
+          return i.channel;
+      },
+      inst);
+}
+
+int instruction_duration(const Instruction& inst) {
+  return std::visit(
+      [](const auto& i) -> int {
+        using T = std::decay_t<decltype(i)>;
+        if constexpr (std::is_same_v<T, Play>)
+          return i.shape.duration();
+        else if constexpr (std::is_same_v<T, Delay>)
+          return i.duration;
+        else if constexpr (std::is_same_v<T, Acquire>)
+          return i.duration;
+        else
+          return 0;
+      },
+      inst);
+}
+
+int Schedule::duration() const {
+  int d = 0;
+  for (const auto& [c, end] : channel_end_) d = std::max(d, end);
+  return d;
+}
+
+int Schedule::channel_duration(const Channel& c) const {
+  const auto it = channel_end_.find(c);
+  return it == channel_end_.end() ? 0 : it->second;
+}
+
+std::vector<Channel> Schedule::channels() const {
+  std::vector<Channel> out;
+  out.reserve(channel_end_.size());
+  for (const auto& [c, end] : channel_end_) out.push_back(c);
+  return out;
+}
+
+Schedule& Schedule::append(Instruction inst) {
+  const Channel c = instruction_channel(inst);
+  return insert(channel_duration(c), std::move(inst));
+}
+
+Schedule& Schedule::insert(int t0, Instruction inst) {
+  HGP_REQUIRE(t0 >= 0, "Schedule::insert: negative start time");
+  const Channel c = instruction_channel(inst);
+  const int end = t0 + instruction_duration(inst);
+  auto& channel_end = channel_end_[c];
+  channel_end = std::max(channel_end, end);
+  instructions_.push_back(TimedInstruction{t0, std::move(inst)});
+  keep_sorted();
+  return *this;
+}
+
+Schedule& Schedule::insert(int t0, const Schedule& other) {
+  for (const TimedInstruction& ti : other.instructions_) insert(t0 + ti.t0, ti.inst);
+  return *this;
+}
+
+Schedule& Schedule::append_sequential(const Schedule& other) {
+  return insert(duration(), other);
+}
+
+Schedule& Schedule::append_aligned(const Schedule& other) {
+  int t0 = 0;
+  for (const Channel& c : other.channels()) t0 = std::max(t0, channel_duration(c));
+  return insert(t0, other);
+}
+
+Schedule& Schedule::left_align() {
+  if (instructions_.empty()) return *this;
+  int min_t0 = instructions_.front().t0;
+  for (const TimedInstruction& ti : instructions_) min_t0 = std::min(min_t0, ti.t0);
+  if (min_t0 == 0) return *this;
+  for (TimedInstruction& ti : instructions_) ti.t0 -= min_t0;
+  for (auto& [c, end] : channel_end_) end -= min_t0;
+  return *this;
+}
+
+std::size_t Schedule::play_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(instructions_.begin(), instructions_.end(), [](const TimedInstruction& ti) {
+        return std::holds_alternative<Play>(ti.inst);
+      }));
+}
+
+void Schedule::keep_sorted() {
+  std::stable_sort(instructions_.begin(), instructions_.end(),
+                   [](const TimedInstruction& a, const TimedInstruction& b) { return a.t0 < b.t0; });
+}
+
+std::string Schedule::draw() const {
+  std::ostringstream os;
+  os << "Schedule";
+  if (!name_.empty()) os << " '" << name_ << "'";
+  os << " (duration " << duration() << "dt)\n";
+  const double scale = duration() > 96 ? 96.0 / duration() : 1.0;
+  for (const Channel& c : channels()) {
+    os << "  " << c.str() << ": ";
+    std::string row(static_cast<std::size_t>(duration() * scale) + 1, '.');
+    for (const TimedInstruction& ti : instructions_) {
+      if (!(instruction_channel(ti.inst) == c)) continue;
+      const int t0 = static_cast<int>(ti.t0 * scale);
+      const int d = instruction_duration(ti.inst);
+      if (d == 0) {
+        char mark = '|';
+        if (std::holds_alternative<ShiftPhase>(ti.inst) ||
+            std::holds_alternative<SetPhase>(ti.inst))
+          mark = 'z';
+        if (std::holds_alternative<ShiftFrequency>(ti.inst) ||
+            std::holds_alternative<SetFrequency>(ti.inst))
+          mark = 'f';
+        if (static_cast<std::size_t>(t0) < row.size()) row[static_cast<std::size_t>(t0)] = mark;
+        continue;
+      }
+      const int span = std::max(1, static_cast<int>(d * scale));
+      const char fill = std::holds_alternative<Play>(ti.inst) ? '#' : '_';
+      for (int t = t0; t < t0 + span && static_cast<std::size_t>(t) < row.size(); ++t)
+        row[static_cast<std::size_t>(t)] = fill;
+    }
+    os << row << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hgp::pulse

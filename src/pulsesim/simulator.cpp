@@ -1,0 +1,219 @@
+#include "pulsesim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/vec.hpp"
+
+namespace hgp::psim {
+
+using la::cxd;
+using la::CMat;
+using la::CVec;
+
+namespace {
+
+/// Per-channel frame: total phase at time t_ns is
+/// phase + 2π·freq·(t_ns - ref_time_ns).
+struct Frame {
+  double phase = 0.0;
+  double freq_ghz = 0.0;
+  double ref_time_ns = 0.0;
+
+  double phase_at(double t_ns) const {
+    return phase + 2.0 * la::kPi * freq_ghz * (t_ns - ref_time_ns);
+  }
+  void rebase(double t_ns) {
+    phase = phase_at(t_ns);
+    ref_time_ns = t_ns;
+  }
+};
+
+struct ActivePlay {
+  int t0 = 0;
+  const pulse::PulseShape* shape = nullptr;
+};
+
+/// exp(-i tau H) for Hermitian H; analytic for dim 2, eigendecomposition
+/// otherwise.
+CMat step_propagator(const CMat& h, double tau) {
+  if (h.rows() == 2) {
+    const double a = h(0, 0).real();
+    const double d = h(1, 1).real();
+    const cxd b = h(0, 1);
+    const double c0 = 0.5 * (a + d);
+    const double nz = 0.5 * (a - d);
+    const double nx = b.real();
+    const double ny = -b.imag();
+    const double nn = std::sqrt(nx * nx + ny * ny + nz * nz);
+    const cxd gphase = std::polar(1.0, -tau * c0);
+    if (nn < 1e-15) return CMat{{gphase, 0}, {0, gphase}};
+    const double ct = std::cos(tau * nn);
+    const double st = std::sin(tau * nn);
+    const cxd mi{0.0, -1.0};
+    CMat u(2, 2);
+    u(0, 0) = gphase * (ct + mi * st * (nz / nn));
+    u(0, 1) = gphase * mi * st * cxd{nx / nn, -ny / nn};
+    u(1, 0) = gphase * mi * st * cxd{nx / nn, ny / nn};
+    u(1, 1) = gphase * (ct - mi * st * (nz / nn));
+    return u;
+  }
+  return la::expm_ih(h, tau);
+}
+
+}  // namespace
+
+PulseSimulator::PulseSimulator(PulseSystem system, Integrator integrator, int substeps,
+                               int sample_stride)
+    : system_(std::move(system)),
+      integrator_(integrator),
+      substeps_(substeps),
+      sample_stride_(sample_stride) {
+  HGP_REQUIRE(substeps >= 1, "PulseSimulator: substeps must be >= 1");
+  HGP_REQUIRE(sample_stride >= 1, "PulseSimulator: sample_stride must be >= 1");
+}
+
+CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
+  HGP_REQUIRE(psi.size() == system_.dim(), "evolve: state dimension mismatch");
+  const int duration = sched.duration();
+  const double dt = pulse::kDtNs;
+
+  // Index the schedule: frame events and plays, per wired channel.
+  std::map<pulse::Channel, Frame> frames;
+  struct Event {
+    int t0;
+    const pulse::Instruction* inst;
+  };
+  std::vector<Event> frame_events;
+  std::map<pulse::Channel, std::vector<ActivePlay>> plays;
+  for (const pulse::TimedInstruction& ti : sched.instructions()) {
+    if (const auto* play = std::get_if<pulse::Play>(&ti.inst)) {
+      if (system_.find_channel(play->channel) != nullptr)
+        plays[play->channel].push_back(ActivePlay{ti.t0, &play->shape});
+      continue;
+    }
+    if (std::holds_alternative<pulse::ShiftPhase>(ti.inst) ||
+        std::holds_alternative<pulse::SetPhase>(ti.inst) ||
+        std::holds_alternative<pulse::ShiftFrequency>(ti.inst) ||
+        std::holds_alternative<pulse::SetFrequency>(ti.inst)) {
+      frame_events.push_back(Event{ti.t0, &ti.inst});
+    }
+  }
+  std::stable_sort(frame_events.begin(), frame_events.end(),
+                   [](const Event& a, const Event& b) { return a.t0 < b.t0; });
+  for (auto& [c, v] : plays)
+    std::stable_sort(v.begin(), v.end(),
+                     [](const ActivePlay& a, const ActivePlay& b) { return a.t0 < b.t0; });
+
+  // Idle propagator (no drives this sample) can be reused.
+  const double tau_sample = 2.0 * la::kPi * dt;
+  CMat idle = step_propagator(system_.static_hamiltonian(), tau_sample * sample_stride_);
+  CMat idle_one = sample_stride_ == 1
+                      ? idle
+                      : step_propagator(system_.static_hamiltonian(), tau_sample);
+
+  std::size_t next_event = 0;
+  std::map<pulse::Channel, std::size_t> play_cursor;
+
+  auto apply = [&](const CMat& u, CVec& v) { v = u * v; };
+
+  for (int t = 0; t < duration; t += sample_stride_) {
+    const int step = std::min(sample_stride_, duration - t);
+    const double t_ns = t * dt;
+    // Apply frame events scheduled at or before this sample boundary.
+    while (next_event < frame_events.size() && frame_events[next_event].t0 <= t) {
+      const pulse::Instruction& inst = *frame_events[next_event].inst;
+      const pulse::Channel c = pulse::instruction_channel(inst);
+      Frame& f = frames[c];
+      const double event_t_ns = frame_events[next_event].t0 * dt;
+      if (const auto* sp = std::get_if<pulse::ShiftPhase>(&inst)) {
+        f.phase += sp->phase;
+      } else if (const auto* stp = std::get_if<pulse::SetPhase>(&inst)) {
+        f.rebase(event_t_ns);
+        f.phase = stp->phase;
+      } else if (const auto* sf = std::get_if<pulse::ShiftFrequency>(&inst)) {
+        f.rebase(event_t_ns);
+        f.freq_ghz += sf->freq_ghz;
+      } else if (const auto* stf = std::get_if<pulse::SetFrequency>(&inst)) {
+        f.rebase(event_t_ns);
+        f.freq_ghz = stf->freq_ghz;
+      }
+      ++next_event;
+    }
+
+    // Sum the active channel drives at this sample.
+    bool any_drive = false;
+    CMat h = system_.static_hamiltonian();
+    for (auto& [channel, channel_plays] : plays) {
+      std::size_t& cur = play_cursor[channel];
+      while (cur < channel_plays.size() &&
+             channel_plays[cur].t0 + channel_plays[cur].shape->duration() <= t)
+        ++cur;
+      if (cur >= channel_plays.size() || channel_plays[cur].t0 > t) continue;
+      const ActivePlay& ap = channel_plays[cur];
+      cxd s = ap.shape->sample(t - ap.t0);
+      if (s == cxd{0.0, 0.0}) continue;
+      const auto it = frames.find(channel);
+      if (it != frames.end()) s *= std::polar(1.0, it->second.phase_at(t_ns));
+      const ChannelOperator* op = system_.find_channel(channel);
+      s *= op->gain;
+      h += op->x_quad * cxd{s.real(), 0.0} + op->y_quad * cxd{s.imag(), 0.0};
+      if (!op->sq_quad.empty()) h += op->sq_quad * cxd{std::norm(s), 0.0};
+      any_drive = true;
+    }
+
+    const double tau = tau_sample * step;
+    if (!any_drive) {
+      apply(step == sample_stride_ ? idle : (step == 1 ? idle_one : step_propagator(h, tau)),
+            psi);
+      continue;
+    }
+
+    if (integrator_ == Integrator::Exact) {
+      apply(step_propagator(h, tau), psi);
+    } else {
+      // RK4 with piecewise-constant H over the sample, `substeps_` steps.
+      const double hstep = tau / substeps_;
+      for (int s = 0; s < substeps_; ++s) {
+        const cxd mi{0.0, -1.0};
+        CVec k1 = h * psi;
+        la::scale(mi, k1);
+        CVec tmp = psi;
+        la::axpy(cxd{hstep / 2.0, 0.0}, k1, tmp);
+        CVec k2 = h * tmp;
+        la::scale(mi, k2);
+        tmp = psi;
+        la::axpy(cxd{hstep / 2.0, 0.0}, k2, tmp);
+        CVec k3 = h * tmp;
+        la::scale(mi, k3);
+        tmp = psi;
+        la::axpy(cxd{hstep, 0.0}, k3, tmp);
+        CVec k4 = h * tmp;
+        la::scale(mi, k4);
+        la::axpy(cxd{hstep / 6.0, 0.0}, k1, psi);
+        la::axpy(cxd{hstep / 3.0, 0.0}, k2, psi);
+        la::axpy(cxd{hstep / 3.0, 0.0}, k3, psi);
+        la::axpy(cxd{hstep / 6.0, 0.0}, k4, psi);
+      }
+    }
+  }
+  return psi;
+}
+
+CMat PulseSimulator::unitary(const pulse::Schedule& sched) const {
+  const std::size_t dim = system_.dim();
+  CMat u(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    CVec e(dim, cxd{0.0, 0.0});
+    e[col] = 1.0;
+    const CVec out = evolve(sched, std::move(e));
+    for (std::size_t row = 0; row < dim; ++row) u(row, col) = out[row];
+  }
+  return u;
+}
+
+}  // namespace hgp::psim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/types.hpp"
+#include "pulse/schedule.hpp"
+#include "pulsesim/system.hpp"
+
+namespace hgp::psim {
+
+/// Integration scheme. `Exact` treats the Hamiltonian as piecewise constant
+/// over each dt sample (exactly how the AWG emits the envelope) and applies
+/// the exact matrix exponential per sample; `Rk4` is a classic fixed-step
+/// integrator used to cross-validate the propagator in tests.
+enum class Integrator { Exact, Rk4 };
+
+/// Time-dependent Schrödinger solver for pulse schedules:
+///     dψ/dt = -i 2π H(t) ψ,   H in GHz, t in ns.
+class PulseSimulator {
+ public:
+  /// `sample_stride` > 1 holds the Hamiltonian constant over that many dt
+  /// samples per propagator step — a fast path for slowly varying envelopes
+  /// (flat-top CR pulses). Left/right staircase errors cancel on symmetric
+  /// rise/fall; keep stride = 1 for schedules with frequency ramps.
+  explicit PulseSimulator(PulseSystem system, Integrator integrator = Integrator::Exact,
+                          int substeps = 1, int sample_stride = 1);
+
+  const PulseSystem& system() const { return system_; }
+
+  /// Evolve ψ0 through the schedule; returns the final state. Channels the
+  /// system does not wire (measure/acquire) are ignored.
+  la::CVec evolve(const pulse::Schedule& sched, la::CVec psi0) const;
+  /// Full unitary of the schedule (columns = evolved basis states).
+  la::CMat unitary(const pulse::Schedule& sched) const;
+
+ private:
+  PulseSystem system_;
+  Integrator integrator_;
+  int substeps_;
+  int sample_stride_;
+};
+
+}  // namespace hgp::psim

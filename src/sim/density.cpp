@@ -1,0 +1,160 @@
+#include "sim/density.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::sim {
+
+using la::cxd;
+using la::CMat;
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(num_qubits),
+      rho_(std::size_t{1} << num_qubits, std::size_t{1} << num_qubits) {
+  HGP_REQUIRE(num_qubits <= 8, "DensityMatrix: too many qubits for a dense matrix");
+  rho_(0, 0) = 1.0;
+}
+
+DensityMatrix DensityMatrix::from_amplitudes(const la::CVec& amplitudes) {
+  std::size_t n = 0;
+  while ((std::size_t{1} << n) < amplitudes.size()) ++n;
+  HGP_REQUIRE((std::size_t{1} << n) == amplitudes.size(),
+              "DensityMatrix: amplitude count is not a power of two");
+  DensityMatrix dm(n);
+  for (std::size_t i = 0; i < amplitudes.size(); ++i)
+    for (std::size_t j = 0; j < amplitudes.size(); ++j)
+      dm.rho_(i, j) = amplitudes[i] * std::conj(amplitudes[j]);
+  return dm;
+}
+
+CMat DensityMatrix::lift(const CMat& op, const std::vector<std::size_t>& qubits) const {
+  const std::size_t k = qubits.size();
+  HGP_REQUIRE(op.rows() == (std::size_t{1} << k), "lift: operator size mismatch");
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  CMat full(dim, dim);
+
+  std::uint64_t mask = 0;
+  for (std::size_t q : qubits) {
+    HGP_REQUIRE(q < num_qubits_, "lift: qubit out of range");
+    mask |= std::uint64_t{1} << q;
+  }
+  auto sub_index = [&](std::uint64_t full_idx) {
+    std::uint64_t s = 0;
+    for (std::size_t j = 0; j < k; ++j)
+      if ((full_idx >> qubits[j]) & 1) s |= (std::uint64_t{1} << j);
+    return s;
+  };
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      if ((r & ~mask) != (c & ~mask)) continue;  // identity on the rest
+      full(r, c) = op(sub_index(r), sub_index(c));
+    }
+  }
+  return full;
+}
+
+void DensityMatrix::apply_unitary(const CMat& u, const std::vector<std::size_t>& qubits) {
+  const CMat full = lift(u, qubits);
+  rho_ = full * rho_ * full.dagger();
+}
+
+void DensityMatrix::apply_kraus(const std::vector<CMat>& kraus,
+                                const std::vector<std::size_t>& qubits) {
+  HGP_REQUIRE(!kraus.empty(), "apply_kraus: empty Kraus set");
+  const std::size_t dim = rho_.rows();
+  CMat out(dim, dim);
+  for (const CMat& k : kraus) {
+    const CMat full = lift(k, qubits);
+    out += full * rho_ * full.dagger();
+  }
+  rho_ = std::move(out);
+}
+
+void DensityMatrix::apply_op(const qc::Op& op) {
+  if (op.kind == qc::GateKind::Barrier || op.kind == qc::GateKind::I ||
+      op.kind == qc::GateKind::Delay)
+    return;
+  HGP_REQUIRE(op.kind != qc::GateKind::Measure, "DensityMatrix: measure not supported here");
+  apply_unitary(qc::gate_matrix(op.kind, op.constant_params()), op.qubits);
+}
+
+void DensityMatrix::run(const qc::Circuit& circuit) {
+  HGP_REQUIRE(circuit.num_qubits() == num_qubits_, "DensityMatrix::run: width mismatch");
+  for (const qc::Op& op : circuit.ops()) apply_op(op);
+}
+
+void DensityMatrix::apply_depolarizing(const std::vector<std::size_t>& qubits, double p) {
+  HGP_REQUIRE(p >= 0.0 && p <= 1.0, "apply_depolarizing: bad probability");
+  if (p == 0.0) return;
+  const std::size_t k = qubits.size();
+  const int paulis = 1 << (2 * static_cast<int>(k));
+  std::vector<CMat> kraus;
+  kraus.reserve(static_cast<std::size_t>(paulis));
+  for (int pick = 0; pick < paulis; ++pick) {
+    CMat op = CMat::identity(1);
+    for (std::size_t j = k; j-- > 0;) {
+      const int pj = (pick >> (2 * j)) & 3;
+      op = la::kron(op, la::pauli_matrix(static_cast<la::Pauli>(pj)));
+    }
+    const double weight = pick == 0 ? 1.0 - p : p / (paulis - 1);
+    kraus.push_back(op * cxd{std::sqrt(weight), 0.0});
+  }
+  apply_kraus(kraus, qubits);
+}
+
+void DensityMatrix::apply_amplitude_damping(std::size_t q, double gamma) {
+  HGP_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "apply_amplitude_damping: bad gamma");
+  const CMat k0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+  const CMat k1{{0, std::sqrt(gamma)}, {0, 0}};
+  apply_kraus({k0, k1}, {q});
+}
+
+void DensityMatrix::apply_phase_damping(std::size_t q, double p_z) {
+  HGP_REQUIRE(p_z >= 0.0 && p_z <= 1.0, "apply_phase_damping: bad probability");
+  const CMat kz = la::pauli_matrix(la::Pauli::Z) * cxd{std::sqrt(p_z), 0.0};
+  const CMat ki = CMat::identity(2) * cxd{std::sqrt(1.0 - p_z), 0.0};
+  apply_kraus({ki, kz}, {q});
+}
+
+void DensityMatrix::apply_thermal_relaxation(std::size_t q, double t1_us, double t2_us,
+                                             double duration_ns) {
+  if (duration_ns <= 0.0) return;
+  const double t_us = duration_ns * 1e-3;
+  apply_amplitude_damping(q, 1.0 - std::exp(-t_us / t1_us));
+  const double t2 = std::min(t2_us, 2.0 * t1_us);
+  const double inv_tphi = 1.0 / t2 - 0.5 / t1_us;
+  if (inv_tphi > 1e-12)
+    apply_phase_damping(q, 0.5 * (1.0 - std::exp(-t_us * inv_tphi)));
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(rho_.rows());
+  for (std::size_t i = 0; i < rho_.rows(); ++i) p[i] = rho_(i, i).real();
+  return p;
+}
+
+double DensityMatrix::expectation(const la::PauliSum& obs) const {
+  HGP_REQUIRE(obs.num_qubits() == num_qubits_, "expectation: observable width mismatch");
+  // Tr(rho P) per term.
+  double total = 0.0;
+  for (const la::PauliTerm& term : obs.terms()) {
+    const CMat full = term.string.matrix();
+    cxd tr{0.0, 0.0};
+    for (std::size_t i = 0; i < rho_.rows(); ++i)
+      for (std::size_t j = 0; j < rho_.cols(); ++j) tr += rho_(i, j) * full(j, i);
+    total += term.coeff * tr.real();
+  }
+  return total;
+}
+
+double DensityMatrix::trace() const { return rho_.trace().real(); }
+
+double DensityMatrix::purity() const {
+  // Tr(rho²) = Σ_ij rho_ij rho_ji; rho is Hermitian so this is Σ |rho_ij|².
+  double s = 0.0;
+  for (const cxd& x : rho_.data()) s += std::norm(x);
+  return s;
+}
+
+}  // namespace hgp::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/pauli.hpp"
+
+namespace hgp::sim {
+
+/// Dense density-matrix simulator (small qubit counts). The trajectory
+/// sampler in `noise/` is the production path; this class is the exact
+/// reference the trajectory statistics are verified against, and the tool
+/// for purity/entropy analyses in the examples.
+class DensityMatrix {
+ public:
+  explicit DensityMatrix(std::size_t num_qubits);
+  static DensityMatrix from_amplitudes(const la::CVec& amplitudes);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const la::CMat& data() const { return rho_; }
+
+  /// rho -> U rho U† with U acting on the listed qubits (first = LSB).
+  void apply_unitary(const la::CMat& u, const std::vector<std::size_t>& qubits);
+  /// rho -> Σ_k K_k rho K_k† (Kraus maps on the listed qubits).
+  void apply_kraus(const std::vector<la::CMat>& kraus,
+                   const std::vector<std::size_t>& qubits);
+  void apply_op(const qc::Op& op);
+  void run(const qc::Circuit& circuit);
+
+  // ----- standard channels (exact, non-stochastic) -----
+  void apply_depolarizing(const std::vector<std::size_t>& qubits, double p);
+  void apply_amplitude_damping(std::size_t q, double gamma);
+  void apply_phase_damping(std::size_t q, double p_z);
+  void apply_thermal_relaxation(std::size_t q, double t1_us, double t2_us,
+                                double duration_ns);
+
+  std::vector<double> probabilities() const;
+  double expectation(const la::PauliSum& obs) const;
+  /// Tr(rho) — 1 for any CPTP evolution.
+  double trace() const;
+  /// Tr(rho²) — 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+
+ private:
+  /// Lift a k-qubit operator to the full register.
+  la::CMat lift(const la::CMat& op, const std::vector<std::size_t>& qubits) const;
+
+  std::size_t num_qubits_;
+  la::CMat rho_;
+};
+
+}  // namespace hgp::sim

@@ -1,0 +1,171 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vec.hpp"
+
+namespace hgp::sim {
+
+using la::cxd;
+using la::CMat;
+using la::CVec;
+
+std::string bits_to_string(std::uint64_t bits, std::size_t num_qubits) {
+  std::string s(num_qubits, '0');
+  for (std::size_t q = 0; q < num_qubits; ++q)
+    if ((bits >> q) & 1) s[num_qubits - 1 - q] = '1';
+  return s;
+}
+
+Statevector::Statevector(std::size_t num_qubits)
+    : num_qubits_(num_qubits), amp_(std::size_t{1} << num_qubits, cxd{0.0, 0.0}) {
+  HGP_REQUIRE(num_qubits <= 26, "Statevector: too many qubits");
+  amp_[0] = 1.0;
+}
+
+Statevector Statevector::from_amplitudes(CVec amplitudes) {
+  std::size_t n = 0;
+  while ((std::size_t{1} << n) < amplitudes.size()) ++n;
+  HGP_REQUIRE((std::size_t{1} << n) == amplitudes.size(),
+              "Statevector: amplitude count is not a power of two");
+  Statevector sv(n);
+  sv.amp_ = std::move(amplitudes);
+  return sv;
+}
+
+void Statevector::reset() {
+  std::fill(amp_.begin(), amp_.end(), cxd{0.0, 0.0});
+  amp_[0] = 1.0;
+}
+
+void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qubits) {
+  const std::size_t k = qubits.size();
+  HGP_REQUIRE(u.rows() == (std::size_t{1} << k) && u.cols() == u.rows(),
+              "apply_matrix: matrix size does not match qubit count");
+  for (std::size_t q : qubits) HGP_REQUIRE(q < num_qubits_, "apply_matrix: qubit out of range");
+
+  if (k == 1) {
+    const std::size_t q = qubits[0];
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    const cxd u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+      if (i & bit) continue;
+      const cxd a0 = amp_[i];
+      const cxd a1 = amp_[i | bit];
+      amp_[i] = u00 * a0 + u01 * a1;
+      amp_[i | bit] = u10 * a0 + u11 * a1;
+    }
+    return;
+  }
+  if (k == 2) {
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+      if ((i & b0) || (i & b1)) continue;
+      const std::uint64_t i0 = i, i1 = i | b0, i2 = i | b1, i3 = i | b0 | b1;
+      const cxd a0 = amp_[i0], a1 = amp_[i1], a2 = amp_[i2], a3 = amp_[i3];
+      amp_[i0] = u(0, 0) * a0 + u(0, 1) * a1 + u(0, 2) * a2 + u(0, 3) * a3;
+      amp_[i1] = u(1, 0) * a0 + u(1, 1) * a1 + u(1, 2) * a2 + u(1, 3) * a3;
+      amp_[i2] = u(2, 0) * a0 + u(2, 1) * a1 + u(2, 2) * a2 + u(2, 3) * a3;
+      amp_[i3] = u(3, 0) * a0 + u(3, 1) * a1 + u(3, 2) * a2 + u(3, 3) * a3;
+    }
+    return;
+  }
+
+  // Generic k-qubit path.
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<std::uint64_t> masks(k);
+  for (std::size_t j = 0; j < k; ++j) masks[j] = std::uint64_t{1} << qubits[j];
+  std::uint64_t outer_mask = 0;
+  for (auto m : masks) outer_mask |= m;
+
+  std::vector<cxd> local(dim);
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+    if (i & outer_mask) continue;
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      std::uint64_t idx = i;
+      for (std::size_t j = 0; j < k; ++j)
+        if ((s >> j) & 1) idx |= masks[j];
+      local[s] = amp_[idx];
+    }
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      cxd acc{0.0, 0.0};
+      for (std::uint64_t s = 0; s < dim; ++s) acc += u(r, s) * local[s];
+      std::uint64_t idx = i;
+      for (std::size_t j = 0; j < k; ++j)
+        if ((r >> j) & 1) idx |= masks[j];
+      amp_[idx] = acc;
+    }
+  }
+}
+
+void Statevector::apply_op(const qc::Op& op) {
+  if (op.kind == qc::GateKind::Barrier || op.kind == qc::GateKind::I ||
+      op.kind == qc::GateKind::Delay)
+    return;
+  HGP_REQUIRE(op.kind != qc::GateKind::Measure,
+              "Statevector::apply_op: use sample() for measurement");
+  apply_matrix(qc::gate_matrix(op.kind, op.constant_params()), op.qubits);
+}
+
+void Statevector::run(const qc::Circuit& circuit) {
+  HGP_REQUIRE(circuit.num_qubits() == num_qubits_, "Statevector::run: width mismatch");
+  for (const qc::Op& op : circuit.ops()) apply_op(op);
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amp_.size());
+  for (std::size_t i = 0; i < amp_.size(); ++i) p[i] = std::norm(amp_[i]);
+  return p;
+}
+
+Counts Statevector::sample(std::size_t shots, Rng& rng) const {
+  // Inverse-CDF sampling over the cumulative distribution.
+  std::vector<double> cdf(amp_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amp_.size(); ++i) {
+    acc += std::norm(amp_[i]);
+    cdf[i] = acc;
+  }
+  Counts counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double x = rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+    const auto idx = static_cast<std::uint64_t>(it - cdf.begin());
+    ++counts[std::min<std::uint64_t>(idx, amp_.size() - 1)];
+  }
+  return counts;
+}
+
+double Statevector::expectation(const la::PauliSum& obs) const {
+  HGP_REQUIRE(obs.num_qubits() == num_qubits_, "expectation: observable width mismatch");
+  return obs.expectation(amp_);
+}
+
+double Statevector::prob_one(std::size_t q) const {
+  HGP_REQUIRE(q < num_qubits_, "prob_one: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  double p = 0.0;
+  for (std::uint64_t i = 0; i < amp_.size(); ++i)
+    if (i & bit) p += std::norm(amp_[i]);
+  return p;
+}
+
+double Statevector::collapse(std::size_t q, bool outcome) {
+  const double p1 = prob_one(q);
+  const double p = outcome ? p1 : 1.0 - p1;
+  HGP_REQUIRE(p > 1e-15, "collapse: outcome has (near-)zero probability");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const double scale = 1.0 / std::sqrt(p);
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+    const bool one = (i & bit) != 0;
+    if (one == outcome)
+      amp_[i] *= scale;
+    else
+      amp_[i] = cxd{0.0, 0.0};
+  }
+  return p;
+}
+
+}  // namespace hgp::sim

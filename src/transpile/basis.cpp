@@ -1,0 +1,123 @@
+#include "transpile/basis.hpp"
+
+#include "common/error.hpp"
+#include "linalg/types.hpp"
+
+namespace hgp::transpile {
+
+using qc::Circuit;
+using qc::GateKind;
+using qc::Op;
+using qc::Param;
+
+namespace {
+
+Param shifted(const Param& p, double offset) {
+  if (p.is_constant()) return Param::constant(p.value() + offset);
+  return Param::symbol(p.index(), p.scale(), p.offset() + offset);
+}
+
+/// U3(theta, phi, lambda) = RZ(phi+π) · SX · RZ(theta+π) · SX · RZ(lambda),
+/// up to global phase (qiskit's ZSXZSXZ form). Circuit order: RZ(lambda)
+/// first.
+void emit_u3(Circuit& out, std::size_t q, const Param& theta, const Param& phi,
+             const Param& lambda) {
+  out.rz(q, lambda);
+  out.sx(q);
+  out.rz(q, shifted(theta, la::kPi));
+  out.sx(q);
+  out.rz(q, shifted(phi, la::kPi));
+}
+
+void emit_h(Circuit& out, std::size_t q) {
+  out.rz(q, la::kPi / 2).sx(q).rz(q, la::kPi / 2);
+}
+
+}  // namespace
+
+Circuit to_native_basis(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits());
+  const double pi = la::kPi;
+  for (const Op& op : circuit.ops()) {
+    const std::size_t q = op.qubits.empty() ? 0 : op.qubits[0];
+    switch (op.kind) {
+      case GateKind::I:
+        break;
+      case GateKind::X:
+      case GateKind::SX:
+      case GateKind::RZ:
+      case GateKind::CX:
+      case GateKind::Delay:
+      case GateKind::Barrier:
+      case GateKind::Measure:
+        out.append(op);
+        break;
+      case GateKind::SXdg:
+        // SX† = RZ(π) · SX · RZ(π) up to global phase.
+        out.rz(q, pi).sx(q).rz(q, pi);
+        break;
+      case GateKind::Z:
+        out.rz(q, pi);
+        break;
+      case GateKind::S:
+        out.rz(q, pi / 2);
+        break;
+      case GateKind::Sdg:
+        out.rz(q, -pi / 2);
+        break;
+      case GateKind::T:
+        out.rz(q, pi / 4);
+        break;
+      case GateKind::Tdg:
+        out.rz(q, -pi / 4);
+        break;
+      case GateKind::P:
+        out.rz(q, op.params[0]);
+        break;
+      case GateKind::H:
+        emit_h(out, q);
+        break;
+      case GateKind::Y:
+        // Y = RZ(π) then X, up to global phase.
+        out.rz(q, pi);
+        out.x(q);
+        break;
+      case GateKind::RX:
+        emit_u3(out, q, op.params[0], Param::constant(-pi / 2), Param::constant(pi / 2));
+        break;
+      case GateKind::RY:
+        emit_u3(out, q, op.params[0], Param::constant(0.0), Param::constant(0.0));
+        break;
+      case GateKind::U3:
+        emit_u3(out, q, op.params[0], op.params[1], op.params[2]);
+        break;
+      case GateKind::CZ:
+        emit_h(out, op.qubits[1]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        emit_h(out, op.qubits[1]);
+        break;
+      case GateKind::SWAP:
+        out.cx(op.qubits[0], op.qubits[1]);
+        out.cx(op.qubits[1], op.qubits[0]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        break;
+      case GateKind::RZZ:
+        out.cx(op.qubits[0], op.qubits[1]);
+        out.rz(op.qubits[1], op.params[0]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        break;
+      case GateKind::RXX:
+        emit_h(out, op.qubits[0]);
+        emit_h(out, op.qubits[1]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        out.rz(op.qubits[1], op.params[0]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        emit_h(out, op.qubits[0]);
+        emit_h(out, op.qubits[1]);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hgp::transpile

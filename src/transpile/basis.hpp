@@ -1,0 +1,17 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace hgp::qc {
+class Circuit;
+}
+
+namespace hgp::transpile {
+
+/// Rewrite a circuit into the IBM native basis {RZ, SX, X, CX} (+ Barrier),
+/// preserving symbolic parameters (affine Param arithmetic) and global-phase
+/// equivalence. RX becomes the textbook two-SX sequence — which is why the
+/// gate-level QAOA mixer costs 2 × 160dt = 320dt of drive time per qubit.
+qc::Circuit to_native_basis(const qc::Circuit& circuit);
+
+}  // namespace hgp::transpile

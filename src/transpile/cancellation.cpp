@@ -1,0 +1,166 @@
+#include "transpile/cancellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hgp::transpile {
+
+using qc::Circuit;
+using qc::GateKind;
+using qc::Op;
+using qc::Param;
+
+namespace {
+
+enum class AxisRole { Diagonal, XAxis, Other };
+
+/// How a gate acts on one of its qubits, for commutation analysis: diagonal
+/// actions commute among themselves, X-axis actions likewise.
+AxisRole role_on(const Op& op, std::size_t q) {
+  switch (op.kind) {
+    case GateKind::RZ:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::P:
+    case GateKind::RZZ:
+    case GateKind::CZ:
+      return AxisRole::Diagonal;
+    case GateKind::X:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::RX:
+    case GateKind::RXX:
+      return AxisRole::XAxis;
+    case GateKind::CX:
+      return q == op.qubits[0] ? AxisRole::Diagonal : AxisRole::XAxis;
+    default:
+      return AxisRole::Other;
+  }
+}
+
+bool commute(const Op& a, const Op& b) {
+  for (std::size_t qa : a.qubits) {
+    for (std::size_t qb : b.qubits) {
+      if (qa != qb) continue;
+      const AxisRole ra = role_on(a, qa);
+      const AxisRole rb = role_on(b, qb);
+      if (ra == AxisRole::Other || rb == AxisRole::Other || ra != rb) return false;
+    }
+  }
+  return true;
+}
+
+bool qubit_order_matters(GateKind k) { return k == GateKind::CX; }
+
+bool same_qubits(const Op& a, const Op& b) {
+  if (a.qubits.size() != b.qubits.size()) return false;
+  if (qubit_order_matters(a.kind)) return a.qubits == b.qubits;
+  std::vector<std::size_t> qa = a.qubits, qb = b.qubits;
+  std::sort(qa.begin(), qa.end());
+  std::sort(qb.begin(), qb.end());
+  return qa == qb;
+}
+
+bool is_rotation(GateKind k) {
+  return k == GateKind::RZ || k == GateKind::RX || k == GateKind::RY || k == GateKind::P ||
+         k == GateKind::RZZ || k == GateKind::RXX;
+}
+
+/// Try to fold `b` into the earlier op `a`. Returns: 0 = no action,
+/// 1 = both ops vanish, 2 = merged into `a` (b vanishes).
+int try_fold(Op& a, const Op& b) {
+  if (a.kind == b.kind && same_qubits(a, b)) {
+    if (qc::gate_is_self_inverse(a.kind)) return 1;
+    if (is_rotation(a.kind) && a.params[0].is_constant() && b.params[0].is_constant()) {
+      a.params[0] = Param::constant(a.params[0].value() + b.params[0].value());
+      return 2;
+    }
+  }
+  // Dagger pairs.
+  if (same_qubits(a, b) && qc::gate_inverse_kind(a.kind) == b.kind && a.kind != b.kind) return 1;
+  return 0;
+}
+
+bool is_removable_identity(const Op& op) {
+  if (op.kind == GateKind::I) return true;
+  if (is_rotation(op.kind) && op.params[0].is_constant()) {
+    // Angles that are multiples of 4π are exactly the identity; 2π is a
+    // global phase (harmless to drop for half-turn rotations).
+    const double theta = std::fmod(std::abs(op.params[0].value()), 2.0 * la::kPi);
+    return theta < 1e-12 || theta > 2.0 * la::kPi - 1e-12;
+  }
+  return false;
+}
+
+}  // namespace
+
+Circuit cancel_gates(const Circuit& circuit) {
+  std::vector<Op> ops;
+  ops.reserve(circuit.size());
+  for (const Op& op : circuit.ops()) ops.push_back(op);
+
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 50) {
+    changed = false;
+    std::vector<Op> out;
+    std::vector<bool> live;
+    for (const Op& op : ops) {
+      if (op.kind == GateKind::Barrier) {
+        out.push_back(op);
+        live.push_back(true);
+        continue;
+      }
+      if (is_removable_identity(op)) {
+        changed = true;
+        continue;
+      }
+      bool folded = false;
+      // Scan backward over live ops; stop at a blocker.
+      for (std::size_t r = out.size(); r-- > 0;) {
+        if (!live[r]) continue;
+        Op& prev = out[r];
+        if (prev.kind == GateKind::Barrier) break;
+        const bool shares = std::any_of(op.qubits.begin(), op.qubits.end(), [&](std::size_t q) {
+          return std::find(prev.qubits.begin(), prev.qubits.end(), q) != prev.qubits.end();
+        });
+        if (!shares) continue;
+        const int action = try_fold(prev, op);
+        if (action == 1) {
+          live[r] = false;
+          folded = true;
+          changed = true;
+          break;
+        }
+        if (action == 2) {
+          folded = true;
+          changed = true;
+          break;
+        }
+        if (!commute(prev, op)) break;
+      }
+      if (!folded) {
+        out.push_back(op);
+        live.push_back(true);
+      }
+    }
+    ops.clear();
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (live[i]) ops.push_back(std::move(out[i]));
+  }
+
+  Circuit result(circuit.num_qubits());
+  for (Op& op : ops) result.append(std::move(op));
+  return result;
+}
+
+std::size_t cancellation_gain(const Circuit& before, const Circuit& after) {
+  return before.size() >= after.size() ? before.size() - after.size() : 0;
+}
+
+}  // namespace hgp::transpile

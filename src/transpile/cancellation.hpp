@@ -1,0 +1,17 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace hgp::transpile {
+
+/// Commutative gate cancellation (paper Step II): removes adjacent
+/// self-inverse pairs (X·X, H·H, CX·CX, ...), merges runs of RZ/RZZ
+/// rotations, drops zero-angle rotations, and uses commutation rules
+/// (diagonal gates commute with CX controls, X-axis gates with CX targets)
+/// to cancel across intervening gates. Repeats to a fixed point.
+qc::Circuit cancel_gates(const qc::Circuit& circuit);
+
+/// Number of ops removed by one cancellation run (for reporting).
+std::size_t cancellation_gain(const qc::Circuit& before, const qc::Circuit& after);
+
+}  // namespace hgp::transpile

@@ -1,0 +1,96 @@
+#include "transpile/lowering.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "linalg/types.hpp"
+#include "transpile/basis.hpp"
+
+namespace hgp::transpile {
+
+LoweredProgram lower_to_pulses(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                               const LoweringOptions& options) {
+  const pulse::CalibrationSet& cal = dev.calibrations();
+  LoweredProgram out;
+  out.frame_phase.assign(circuit.num_qubits(), 0.0);
+
+  std::vector<int> clock(circuit.num_qubits(), 0);
+  std::vector<bool> touched(circuit.num_qubits(), false);
+
+  auto place = [&](const pulse::Schedule& gate_sched, const std::vector<std::size_t>& qubits) {
+    int t0 = 0;
+    for (std::size_t q : qubits) t0 = std::max(t0, clock[q]);
+    out.schedule.insert(t0, gate_sched);
+    const int end = t0 + gate_sched.duration();
+    for (std::size_t q : qubits) {
+      clock[q] = end;
+      touched[q] = true;
+      out.frame_phase[q] += pulse::CalibrationSet::drive_phase_shift(gate_sched, q);
+    }
+  };
+
+  std::function<void(const qc::Op&)> lower_op = [&](const qc::Op& op) {
+    using qc::GateKind;
+    switch (op.kind) {
+      case GateKind::Barrier: {
+        const int t = *std::max_element(clock.begin(), clock.end());
+        for (std::size_t q = 0; q < circuit.num_qubits(); ++q)
+          if (touched[q]) clock[q] = t;
+        return;
+      }
+      case GateKind::I:
+      case GateKind::Measure:  // readout is appended at the end
+        return;
+      case GateKind::Delay: {
+        pulse::Schedule d("delay");
+        d.append(pulse::Delay{static_cast<int>(op.params[0].value()),
+                              pulse::Channel::drive(op.qubits[0])});
+        place(d, op.qubits);
+        return;
+      }
+      case GateKind::RZ:
+        place(cal.rz(op.qubits[0], op.params[0].value()), op.qubits);
+        return;
+      case GateKind::SX:
+        place(cal.sx(op.qubits[0]), op.qubits);
+        return;
+      case GateKind::X:
+        place(cal.x(op.qubits[0]), op.qubits);
+        return;
+      case GateKind::CX:
+        place(cal.cx(op.qubits[0], op.qubits[1]), op.qubits);
+        return;
+      case GateKind::RZZ:
+        if (options.pulse_efficient_rzz) {
+          place(cal.rzz_direct(op.qubits[0], op.qubits[1], op.params[0].value()), op.qubits);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    // Anything else: translate this one op into the native basis and recurse.
+    qc::Circuit one(circuit.num_qubits());
+    one.append(op);
+    const qc::Circuit native = to_native_basis(one);
+    HGP_REQUIRE(native.size() != 1 || native.ops()[0].kind != op.kind,
+                "lower_to_pulses: gate has no pulse definition: " + qc::gate_name(op.kind));
+    for (const qc::Op& sub : native.ops()) lower_op(sub);
+  };
+
+  for (const qc::Op& op : circuit.ops()) lower_op(op);
+
+  if (options.include_measure) {
+    std::vector<std::size_t> measured;
+    for (std::size_t q = 0; q < circuit.num_qubits(); ++q)
+      if (touched[q]) measured.push_back(q);
+    if (!measured.empty()) {
+      const int t = *std::max_element(clock.begin(), clock.end());
+      out.schedule.insert(t, cal.measure(measured));
+    }
+  }
+  return out;
+}
+
+}  // namespace hgp::transpile

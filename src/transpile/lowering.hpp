@@ -1,0 +1,32 @@
+#pragma once
+
+#include "backend/backend.hpp"
+#include "circuit/circuit.hpp"
+#include "pulse/schedule.hpp"
+
+namespace hgp::transpile {
+
+/// Options for gate→pulse lowering.
+struct LoweringOptions {
+  /// Lower RZZ through a single echoed CR (pulse-efficient transpilation,
+  /// Earnest et al.) instead of the CX·RZ·CX gate decomposition.
+  bool pulse_efficient_rzz = false;
+  /// Append the readout stimulus/acquire at the end.
+  bool include_measure = true;
+};
+
+/// Result of lowering: the full physical-channel schedule plus the virtual-Z
+/// frame each qubit has accumulated (the exact circuit unitary equals
+/// ⊗RZ(-frame_q) · U_schedule; Z-basis sampling is unaffected).
+struct LoweredProgram {
+  pulse::Schedule schedule;
+  std::vector<double> frame_phase;  // per physical qubit
+};
+
+/// Lower a physical, bound circuit (output of the transpiler) to one pulse
+/// schedule using the backend's calibrations. Gates are placed ASAP with
+/// per-qubit clocks.
+LoweredProgram lower_to_pulses(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                               const LoweringOptions& options = {});
+
+}  // namespace hgp::transpile

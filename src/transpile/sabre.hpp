@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "backend/topology.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace hgp::transpile {
+
+/// Result of SABRE layout + routing: the circuit rewritten onto physical
+/// qubits (device width) with SWAPs inserted so every 2-qubit gate acts on a
+/// coupled pair.
+struct SabreResult {
+  qc::Circuit circuit;
+  /// virtual qubit v starts at physical initial_layout[v].
+  std::vector<std::size_t> initial_layout;
+  /// virtual qubit v ends at physical final_layout[v] (SWAPs move it).
+  std::vector<std::size_t> final_layout;
+  std::size_t swap_count = 0;
+};
+
+/// SABRE qubit mapping & routing (Li, Ding, Xie — ASPLOS'19): routing with a
+/// lookahead + decay heuristic; the initial layout is improved by
+/// forward/backward routing sweeps. Pass a non-empty `fixed_layout` to pin
+/// the virtual→physical placement (the paper fixes it across experiments)
+/// and only route.
+SabreResult sabre_route(const qc::Circuit& circuit, const backend::CouplingMap& coupling,
+                        Rng& rng, int layout_trials = 4,
+                        const std::vector<std::size_t>& fixed_layout = {});
+
+/// Baseline router without lookahead: for every non-adjacent 2-qubit gate,
+/// walk the shortest physical path and SWAP the control toward the target.
+/// This is the "raw" (unoptimized) compilation; Step II replaces it with
+/// SABRE.
+SabreResult greedy_route(const qc::Circuit& circuit, const backend::CouplingMap& coupling,
+                         const std::vector<std::size_t>& fixed_layout);
+
+}  // namespace hgp::transpile

@@ -1,0 +1,67 @@
+#include "transpile/scheduling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hgp::transpile {
+
+ScheduledCircuit schedule_asap(const qc::Circuit& circuit, const backend::FakeBackend& dev) {
+  ScheduledCircuit out;
+  std::vector<int> clock(circuit.num_qubits(), 0);
+  for (const qc::Op& op : circuit.ops()) {
+    if (op.kind == qc::GateKind::Barrier) {
+      const int t = clock.empty() ? 0 : *std::max_element(clock.begin(), clock.end());
+      std::fill(clock.begin(), clock.end(), t);
+      out.ops.push_back(TimedOp{op, t, 0});
+      continue;
+    }
+    const int dur = dev.gate_duration_dt(op);
+    int t0 = 0;
+    for (std::size_t q : op.qubits) t0 = std::max(t0, clock[q]);
+    for (std::size_t q : op.qubits) clock[q] = t0 + dur;
+    out.ops.push_back(TimedOp{op, t0, dur});
+  }
+  out.makespan_dt = clock.empty() ? 0 : *std::max_element(clock.begin(), clock.end());
+  out.qubit_busy_dt = std::move(clock);
+  return out;
+}
+
+qc::Circuit insert_dd(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                      int min_window_dt) {
+  const ScheduledCircuit sched = schedule_asap(circuit, dev);
+  const int x_dur = dev.gate_duration_dt(qc::Op{qc::GateKind::X, {0}, {}});
+
+  // Find idle windows per qubit between that qubit's ops (not before its
+  // first op — DD on |0> is pointless). The window is filled with the
+  // centered echo  delay(τ/4) X delay(τ/2) X delay(τ/4), which refocuses
+  // quasi-static Z noise (frame drift) accumulated across the idle.
+  std::vector<int> last_end(circuit.num_qubits(), -1);
+  std::vector<std::vector<std::pair<int, std::size_t>>> insertions_before(sched.ops.size());
+
+  for (std::size_t i = 0; i < sched.ops.size(); ++i) {
+    const TimedOp& top = sched.ops[i];
+    for (std::size_t q : top.op.qubits) {
+      const int window = last_end[q] >= 0 ? top.t0 - last_end[q] : 0;
+      if (window >= min_window_dt && window >= 4 * x_dur)
+        insertions_before[i].push_back({window, q});
+      last_end[q] = top.t0 + top.duration;
+    }
+  }
+
+  qc::Circuit out(circuit.num_qubits());
+  for (std::size_t i = 0; i < sched.ops.size(); ++i) {
+    for (const auto& [window, q] : insertions_before[i]) {
+      const int tau = window - 2 * x_dur;
+      out.delay(q, tau / 4);
+      out.x(q);
+      out.delay(q, tau / 2);
+      out.x(q);
+      out.delay(q, tau - tau / 4 - tau / 2);
+    }
+    out.append(sched.ops[i].op);
+  }
+  return out;
+}
+
+}  // namespace hgp::transpile

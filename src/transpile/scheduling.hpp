@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "circuit/circuit.hpp"
+
+namespace hgp::transpile {
+
+/// One op with its ASAP start time and duration in dt samples.
+struct TimedOp {
+  qc::Op op;
+  int t0 = 0;
+  int duration = 0;
+};
+
+/// ASAP-scheduled circuit with device timing: used for duration reporting
+/// (the paper's "dt" numbers) and for duration-proportional decoherence.
+struct ScheduledCircuit {
+  std::vector<TimedOp> ops;
+  int makespan_dt = 0;
+  std::vector<int> qubit_busy_dt;  // active+idle span per qubit up to makespan
+};
+
+ScheduledCircuit schedule_asap(const qc::Circuit& circuit, const backend::FakeBackend& dev);
+
+/// Dynamical-decoupling insertion (paper Step III menu): fills every idle
+/// window longer than `min_window_dt` with a centered X–X echo pair.
+/// Returns the circuit with DD pulses added (unitarily the identity, but it
+/// refocuses quasi-static dephasing in the noise model).
+qc::Circuit insert_dd(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                      int min_window_dt = 640);
+
+}  // namespace hgp::transpile

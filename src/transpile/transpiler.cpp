@@ -1,0 +1,32 @@
+#include "transpile/transpiler.hpp"
+
+#include "common/rng.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/cancellation.hpp"
+#include "transpile/sabre.hpp"
+
+namespace hgp::transpile {
+
+TranspileResult transpile(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                          const TranspileOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::size_t> layout = options.initial_layout;
+  if (!options.sabre_routing && layout.empty())
+    for (std::size_t v = 0; v < circuit.num_qubits(); ++v) layout.push_back(v);
+  SabreResult routed =
+      options.sabre_routing
+          ? sabre_route(circuit, dev.coupling(), rng, options.layout_trials, layout)
+          : greedy_route(circuit, dev.coupling(), layout);
+
+  qc::Circuit native = to_native_basis(routed.circuit);
+
+  TranspileResult out;
+  out.ops_before_cancellation = native.size();
+  out.circuit = options.cancellation ? cancel_gates(native) : std::move(native);
+  out.initial_layout = std::move(routed.initial_layout);
+  out.final_layout = std::move(routed.final_layout);
+  out.swap_count = routed.swap_count;
+  return out;
+}
+
+}  // namespace hgp::transpile

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "circuit/circuit.hpp"
+
+namespace hgp::transpile {
+
+/// End-to-end gate-level compilation options (paper Step II).
+struct TranspileOptions {
+  /// Fixed virtual→physical placement (the paper pins it for fairness);
+  /// empty = SABRE layout search.
+  std::vector<std::size_t> initial_layout;
+  /// Run commutative cancellation after routing/translation.
+  bool cancellation = true;
+  /// SABRE routing (paper Step II); false = greedy shortest-path routing,
+  /// the "raw" compilation baseline.
+  bool sabre_routing = true;
+  /// Layout search trials when no fixed layout is given.
+  int layout_trials = 4;
+  std::uint64_t seed = 7;
+};
+
+struct TranspileResult {
+  /// Physical circuit in the native basis {RZ, SX, X, CX}, device width.
+  qc::Circuit circuit;
+  std::vector<std::size_t> initial_layout;  // virtual -> physical
+  std::vector<std::size_t> final_layout;    // virtual -> physical after SWAPs
+  std::size_t swap_count = 0;
+  std::size_t ops_before_cancellation = 0;
+};
+
+/// SABRE route -> native-basis translate -> commutative cancellation.
+/// Parameters stay symbolic throughout, so one transpilation can be bound
+/// with many parameter vectors during training.
+TranspileResult transpile(const qc::Circuit& circuit, const backend::FakeBackend& dev,
+                          const TranspileOptions& options = {});
+
+}  // namespace hgp::transpile

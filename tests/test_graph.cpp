@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/instances.hpp"
+#include "graph/maxcut.hpp"
+
+using namespace hgp;
+using graph::Graph;
+
+TEST(Graph, BasicInvariants) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), Error);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+}
+
+TEST(Graph, CutValueCountsCrossingEdges) {
+  const Graph g = graph::cycle(4);
+  // Alternating partition 0101 cuts all 4 edges.
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0101), 4.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0000), 0.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0011), 2.0);
+  // Complement partition gives the same cut.
+  EXPECT_DOUBLE_EQ(g.cut_value(0b1010), 4.0);
+}
+
+TEST(Generators, RegularGraphsAreRegular) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_regular(8, 3, rng);
+    EXPECT_TRUE(g.is_regular(3));
+    EXPECT_EQ(g.num_edges(), 12u);
+  }
+  EXPECT_THROW(graph::random_regular(7, 3, rng), Error);  // odd n*k
+}
+
+TEST(Generators, ErdosRenyiEdgeDensity) {
+  Rng rng(2);
+  double total = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) total += double(graph::erdos_renyi(10, 0.4, rng).num_edges());
+  const double mean = total / trials;
+  EXPECT_NEAR(mean, 0.4 * 45.0, 2.5);
+}
+
+TEST(Generators, NamedFamilies) {
+  EXPECT_EQ(graph::cycle(5).num_edges(), 5u);
+  EXPECT_EQ(graph::complete(5).num_edges(), 10u);
+  const Graph k33 = graph::complete_bipartite(3, 3);
+  EXPECT_TRUE(k33.is_regular(3));
+  EXPECT_EQ(k33.num_edges(), 9u);
+}
+
+TEST(MaxCut, BruteForceKnownOptima) {
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(graph::cycle(4)).value, 4.0);
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(graph::cycle(5)).value, 4.0);
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(graph::complete(4)).value, 4.0);
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(graph::complete_bipartite(3, 3)).value, 9.0);
+}
+
+TEST(MaxCut, PaperInstancesMatchFigure4) {
+  // The paper's three benchmarks (Fig. 4): Max-Cut = 9, 8, 10.
+  const auto t1 = graph::paper_task1();
+  const auto t2 = graph::paper_task2();
+  const auto t3 = graph::paper_task3();
+  EXPECT_EQ(t1.graph.num_vertices(), 6u);
+  EXPECT_TRUE(t1.graph.is_regular(3));
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(t1.graph).value, t1.max_cut);
+  EXPECT_DOUBLE_EQ(t1.max_cut, 9.0);
+
+  EXPECT_EQ(t2.graph.num_vertices(), 6u);
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(t2.graph).value, t2.max_cut);
+  EXPECT_DOUBLE_EQ(t2.max_cut, 8.0);
+
+  EXPECT_EQ(t3.graph.num_vertices(), 8u);
+  EXPECT_TRUE(t3.graph.is_regular(3));
+  EXPECT_DOUBLE_EQ(graph::max_cut_brute_force(t3.graph).value, t3.max_cut);
+  EXPECT_DOUBLE_EQ(t3.max_cut, 10.0);
+}
+
+TEST(MaxCut, LocalSearchReachesOptimumOnSmallGraphs) {
+  Rng rng(3);
+  for (const auto& inst : graph::paper_instances()) {
+    const auto res = graph::max_cut_local_search(inst.graph, rng, 32);
+    EXPECT_DOUBLE_EQ(res.value, inst.max_cut) << inst.name;
+    EXPECT_DOUBLE_EQ(inst.graph.cut_value(res.partition), res.value);
+  }
+}
+
+TEST(MaxCut, RandomCutExpectationIsHalfTotalWeight) {
+  const auto inst = graph::paper_task1();
+  EXPECT_DOUBLE_EQ(graph::random_cut_expectation(inst.graph), 4.5);
+}
+
+class CutSymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutSymmetry, ComplementInvariance) {
+  const Graph g = graph::paper_task3().graph;
+  const std::uint64_t part = GetParam();
+  const std::uint64_t full = (1u << g.num_vertices()) - 1;
+  EXPECT_DOUBLE_EQ(g.cut_value(part), g.cut_value(part ^ full));
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, CutSymmetry,
+                         ::testing::Values(0b00000000, 0b10101010, 0b11001100, 0b00001111,
+                                           0b01010101, 0b11110000, 0b10010110));

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mitigation/cvar.hpp"
+#include "mitigation/m3.hpp"
+#include "mitigation/zne.hpp"
+#include "linalg/vec.hpp"
+#include "sim/statevector.hpp"
+
+using namespace hgp;
+using mit::M3Mitigator;
+using noise::ReadoutError;
+using sim::Counts;
+
+namespace {
+
+/// Push ideal counts through the confusion model many times to get noisy
+/// counts for mitigation tests.
+Counts corrupt(const Counts& ideal, const std::vector<ReadoutError>& errors, Rng& rng) {
+  Counts noisy;
+  for (const auto& [bits, n] : ideal)
+    for (std::size_t s = 0; s < n; ++s) ++noisy[noise::apply_readout(bits, errors, rng)];
+  return noisy;
+}
+
+}  // namespace
+
+TEST(M3, IdentityWhenNoReadoutError) {
+  const std::vector<ReadoutError> errors = {{0.0, 0.0}, {0.0, 0.0}};
+  const M3Mitigator m3(errors);
+  Counts counts = {{0b00, 500}, {0b11, 500}};
+  const auto quasi = m3.mitigate(counts);
+  EXPECT_TRUE(quasi.converged);
+  EXPECT_NEAR(quasi.probs.at(0b00), 0.5, 1e-9);
+  EXPECT_NEAR(quasi.probs.at(0b11), 0.5, 1e-9);
+  EXPECT_NEAR(quasi.overhead, 1.0, 1e-9);
+}
+
+TEST(M3, RecoversExpectationUnderConfusion) {
+  Rng rng(7);
+  // Ideal: GHZ-like counts -> <Z0 Z1> = 1.
+  Counts ideal = {{0b00, 6000}, {0b11, 6000}};
+  const std::vector<ReadoutError> errors = {{0.04, 0.08}, {0.03, 0.06}};
+  const Counts noisy = corrupt(ideal, errors, rng);
+
+  auto zz = [](std::uint64_t bits) {
+    const int parity = __builtin_popcountll(bits & 0b11) % 2;
+    return parity == 0 ? 1.0 : -1.0;
+  };
+  // Noisy expectation is visibly biased.
+  double noisy_zz = 0.0;
+  std::size_t shots = 0;
+  for (const auto& [bits, n] : noisy) {
+    noisy_zz += zz(bits) * double(n);
+    shots += n;
+  }
+  noisy_zz /= double(shots);
+  EXPECT_LT(noisy_zz, 0.87);
+
+  const M3Mitigator m3(errors);
+  const auto quasi = m3.mitigate(noisy);
+  EXPECT_TRUE(quasi.converged);
+  const double mitigated = quasi.expectation(zz);
+  EXPECT_NEAR(mitigated, 1.0, 0.03);
+  EXPECT_GT(mitigated, noisy_zz);
+  EXPECT_GE(quasi.overhead, 1.0);
+}
+
+TEST(M3, QuasiProbsSumToOne) {
+  Rng rng(8);
+  Counts ideal = {{0b000, 300}, {0b101, 500}, {0b010, 200}, {0b111, 24}};
+  const std::vector<ReadoutError> errors = {{0.02, 0.05}, {0.03, 0.04}, {0.01, 0.06}};
+  const Counts noisy = corrupt(ideal, errors, rng);
+  const auto quasi = M3Mitigator(errors).mitigate(noisy);
+  double sum = 0.0;
+  for (const auto& [bits, p] : quasi.probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(M3, RejectsBadInput) {
+  EXPECT_THROW(M3Mitigator({}), Error);
+  EXPECT_THROW(M3Mitigator({{0.6, 0.1}}), Error);
+  const M3Mitigator m3({{0.01, 0.02}});
+  EXPECT_THROW(m3.mitigate({}), Error);
+}
+
+TEST(Cvar, AlphaOneIsMean) {
+  Counts counts = {{0, 250}, {1, 750}};
+  auto value = [](std::uint64_t b) { return b == 0 ? 4.0 : 8.0; };
+  EXPECT_NEAR(mit::cvar_from_counts(counts, value, 1.0), 7.0, 1e-12);
+}
+
+TEST(Cvar, SmallAlphaPicksBestTail) {
+  Counts counts = {{0, 700}, {1, 300}};
+  auto value = [](std::uint64_t b) { return b == 0 ? 2.0 : 9.0; };
+  // Best 30% of shots are exactly the 300 shots at value 9.
+  EXPECT_NEAR(mit::cvar_from_counts(counts, value, 0.3), 9.0, 1e-12);
+  // Minimization flips the tail.
+  EXPECT_NEAR(mit::cvar_from_counts(counts, value, 0.3, /*maximize=*/false), 2.0, 1e-12);
+}
+
+TEST(Cvar, FractionalTailInterpolates) {
+  Counts counts = {{0, 500}, {1, 500}};
+  auto value = [](std::uint64_t b) { return b == 0 ? 0.0 : 10.0; };
+  // alpha = 0.75: tail = 500 shots at 10 plus 250 shots at 0.
+  EXPECT_NEAR(mit::cvar_from_counts(counts, value, 0.75), 10.0 * 500 / 750, 1e-12);
+}
+
+TEST(Cvar, QuasiDistributionIgnoresNegativeWeights) {
+  mit::QuasiDistribution quasi;
+  quasi.probs = {{0, 0.7}, {1, 0.4}, {2, -0.1}};
+  auto value = [](std::uint64_t b) { return double(b); };
+  // Best tail under maximize: bits=1 (value 1) has weight 0.4 >= alpha*1.1.
+  EXPECT_NEAR(mit::cvar_from_quasi(quasi, value, 0.3), 1.0, 1e-9);
+}
+
+TEST(Cvar, RejectsBadAlpha) {
+  Counts counts = {{0, 10}};
+  auto value = [](std::uint64_t) { return 1.0; };
+  EXPECT_THROW(mit::cvar_from_counts(counts, value, 0.0), Error);
+  EXPECT_THROW(mit::cvar_from_counts(counts, value, 1.5), Error);
+}
+
+TEST(Zne, FoldingPreservesUnitary) {
+  qc::Circuit c(2);
+  c.h(0).cx(0, 1).rz(1, 0.7).sx(1);
+  const qc::Circuit folded = mit::fold_gates(c, 3);
+  EXPECT_GT(folded.size(), c.size());
+  sim::Statevector a(2), b(2);
+  a.run(c);
+  b.run(folded);
+  EXPECT_LT(la::max_abs_diff_up_to_phase(a.data(), b.data()), 1e-12);
+}
+
+TEST(Zne, FoldCountScaling) {
+  qc::Circuit c(1);
+  c.x(0);
+  EXPECT_EQ(mit::fold_gates(c, 1).count(qc::GateKind::X), 1u);
+  EXPECT_EQ(mit::fold_gates(c, 3).count(qc::GateKind::X), 3u);
+  EXPECT_EQ(mit::fold_gates(c, 5).count(qc::GateKind::X), 5u);
+  EXPECT_THROW(mit::fold_gates(c, 2), Error);
+}
+
+TEST(Zne, RichardsonLinearAndQuadratic) {
+  // Linear data y = 1 - 0.1 x.
+  EXPECT_NEAR(mit::richardson_extrapolate({{1.0, 0.9}, {3.0, 0.7}}), 1.0, 1e-12);
+  // Quadratic data y = 1 - 0.1 x - 0.02 x^2.
+  auto y = [](double x) { return 1.0 - 0.1 * x - 0.02 * x * x; };
+  EXPECT_NEAR(mit::richardson_extrapolate({{1.0, y(1)}, {3.0, y(3)}, {5.0, y(5)}}), 1.0,
+              1e-12);
+}

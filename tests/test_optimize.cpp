@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "optimize/cobyla.hpp"
+#include "optimize/duration_search.hpp"
+#include "optimize/gradient.hpp"
+#include "optimize/neldermead.hpp"
+#include "optimize/spsa.hpp"
+
+using namespace hgp;
+using opt::Bounds;
+
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += (v - 0.5) * (v - 0.5);
+  return s;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i)
+    s += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) + std::pow(1.0 - x[i], 2);
+  return s;
+}
+
+/// A 1D cost with the shape of a noisy VQA landscape.
+double cosine_valley(const std::vector<double>& x) {
+  return -std::cos(x[0] - 1.0) - 0.5 * std::cos(2.0 * (x[0] - 1.0));
+}
+
+}  // namespace
+
+TEST(Cobyla, MinimizesSphere) {
+  opt::Cobyla::Options o;
+  o.max_evaluations = 200;
+  const opt::Cobyla c(o);
+  const auto r = c.minimize(sphere, {0.0, 0.0, 0.0});
+  EXPECT_LT(r.value, 1e-3);
+  for (double v : r.x) EXPECT_NEAR(v, 0.5, 0.05);
+  EXPECT_LE(r.evaluations, 200);
+}
+
+TEST(Cobyla, RespectsBounds) {
+  opt::Cobyla::Options o;
+  o.max_evaluations = 150;
+  const opt::Cobyla c(o);
+  Bounds b;
+  b.lo = {0.7, -1.0};
+  b.hi = {2.0, 1.0};
+  const auto r = c.minimize(sphere, {1.0, 0.0}, b);
+  // Optimum (0.5) is outside: should end at the boundary x0 = 0.7.
+  EXPECT_NEAR(r.x[0], 0.7, 0.02);
+  EXPECT_NEAR(r.x[1], 0.5, 0.05);
+}
+
+TEST(Cobyla, HistoryIsMonotone) {
+  const opt::Cobyla c;
+  const auto r = c.minimize(sphere, {0.0, 0.0});
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+}
+
+TEST(Cobyla, SurvivesNoisyObjective) {
+  Rng rng(3);
+  auto noisy = [&](const std::vector<double>& x) { return cosine_valley(x) + 0.01 * rng.normal(); };
+  opt::Cobyla::Options o;
+  o.max_evaluations = 60;
+  const opt::Cobyla c(o);
+  const auto r = c.minimize(noisy, {0.0});
+  EXPECT_NEAR(r.x[0], 1.0, 0.35);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2d) {
+  opt::NelderMead::Options o;
+  o.max_evaluations = 2000;
+  const opt::NelderMead nm(o);
+  const auto r = nm.minimize(rosenbrock, {-1.0, 1.0});
+  EXPECT_LT(r.value, 1e-4);
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], 1.0, 0.05);
+}
+
+TEST(NelderMead, ConvergenceFlagOnFlatFunction) {
+  const opt::NelderMead nm;
+  const auto r = nm.minimize([](const std::vector<double>&) { return 1.0; }, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+}
+
+TEST(Spsa, MinimizesSphereUnderNoise) {
+  Rng rng(5);
+  auto noisy = [&](const std::vector<double>& x) { return sphere(x) + 0.02 * rng.normal(); };
+  opt::Spsa::Options o;
+  o.max_iterations = 400;
+  o.a = 0.3;
+  const opt::Spsa s(o);
+  const auto r = s.minimize(noisy, {0.0, 0.0, 0.0, 0.0});
+  for (double v : r.x) EXPECT_NEAR(v, 0.5, 0.15);
+}
+
+TEST(Adam, FiniteDifferenceOnSphere) {
+  opt::Adam::Options o;
+  o.max_iterations = 150;
+  const opt::Adam a(o);
+  const auto r = a.minimize(sphere, {0.0, 0.0});
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(Gradient, ParameterShiftExactForSinusoid) {
+  // f(x) = cos(x): parameter-shift with s = π/2 gives exactly -sin(x).
+  auto f = [](const std::vector<double>& x) { return std::cos(x[0]); };
+  for (double x0 : {-1.0, 0.0, 0.7, 2.2}) {
+    const auto g = opt::parameter_shift_gradient(f, {x0});
+    EXPECT_NEAR(g[0], -std::sin(x0), 1e-12) << x0;
+  }
+}
+
+TEST(Gradient, FiniteDifferenceAccuracy) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0] * x[0]; };
+  const auto g = opt::finite_difference_gradient(f, {2.0}, 1e-4);
+  EXPECT_NEAR(g[0], 12.0, 1e-5);
+}
+
+TEST(DurationSearch, FindsThreshold) {
+  // Score degrades below 96dt; keep_fraction 0.97 must stop at 96.
+  auto score = [](int d) { return d >= 96 ? 1.0 : 0.5; };
+  const auto r = opt::binary_search_duration(score, 320, 32, 0.97);
+  EXPECT_EQ(r.best_duration, 96);
+  EXPECT_DOUBLE_EQ(r.baseline_score, 1.0);
+  // log2(10) ≈ 3-4 probes + baseline.
+  EXPECT_LE(r.trace.size(), 6u);
+}
+
+TEST(DurationSearch, KeepsFullDurationWhenNothingShorterWorks) {
+  auto score = [](int d) { return d >= 320 ? 1.0 : 0.0; };
+  const auto r = opt::binary_search_duration(score, 320, 32, 0.97);
+  EXPECT_EQ(r.best_duration, 320);
+}
+
+TEST(DurationSearch, GranularityRespected) {
+  auto score = [](int d) { return d >= 100 ? 1.0 : 0.0; };  // true threshold off-grid
+  const auto r = opt::binary_search_duration(score, 320, 32, 0.9);
+  EXPECT_EQ(r.best_duration % 32, 0);
+  EXPECT_EQ(r.best_duration, 128);  // smallest multiple of 32 above 100
+  EXPECT_THROW(opt::binary_search_duration(score, 100, 32, 0.9), Error);
+}
+
+TEST(IterationsToConverge, FindsFirstWithinTolerance) {
+  opt::OptimizeResult r;
+  r.history = {-0.1, -0.4, -0.55, -0.56, -0.56};
+  r.iterations = 5;
+  EXPECT_EQ(opt::iterations_to_converge(r, 0.02), 3);
+}

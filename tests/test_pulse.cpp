@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "pulse/calibration.hpp"
+#include "pulse/schedule.hpp"
+#include "pulse/shapes.hpp"
+
+using namespace hgp;
+using pulse::Channel;
+using pulse::PulseShape;
+using pulse::Schedule;
+
+TEST(Shapes, GaussianIsLiftedAndPeaked) {
+  const PulseShape g = PulseShape::gaussian(160, 0.2, 40.0);
+  // Ends near zero (lifted), peak near amp at the center.
+  EXPECT_LT(std::abs(g.sample(0)), 0.02);
+  EXPECT_LT(std::abs(g.sample(159)), 0.02);
+  EXPECT_NEAR(std::abs(g.sample(80)), 0.2, 1e-3);
+  // Outside the window: exactly zero.
+  EXPECT_EQ(g.sample(-1), la::cxd(0, 0));
+  EXPECT_EQ(g.sample(160), la::cxd(0, 0));
+}
+
+TEST(Shapes, GaussianSquareFlatTop) {
+  const PulseShape s = PulseShape::gaussian_square(704, 0.3, 64.0, 448.0);
+  const double rise = (704 - 448) / 2.0;
+  for (int t = static_cast<int>(rise) + 1; t < static_cast<int>(rise + 448) - 1; ++t)
+    EXPECT_NEAR(std::abs(s.sample(t)), 0.3, 1e-9);
+  EXPECT_LT(std::abs(s.sample(0)), 0.03);
+  EXPECT_LT(std::abs(s.sample(703)), 0.03);
+}
+
+TEST(Shapes, DragHasDerivativeQuadrature) {
+  const PulseShape d = PulseShape::drag(160, 0.2, 40.0, 0.5);
+  // Imag part is odd around the center: positive on one side, negative on
+  // the other, ~zero at the center.
+  EXPECT_NEAR(d.sample(80).imag(), 0.0, 1e-3);
+  EXPECT_GT(std::abs(d.sample(40).imag()), 1e-4);
+  EXPECT_NEAR(d.sample(40).imag(), -d.sample(120).imag(), 1e-3);
+}
+
+TEST(Shapes, AngleRotatesEnvelope) {
+  const PulseShape p = PulseShape::gaussian(64, 0.5, 16.0, la::kPi / 2);
+  // Pure imaginary at the peak when angle = π/2.
+  EXPECT_NEAR(p.sample(32).real(), 0.0, 1e-9);
+  EXPECT_NEAR(p.sample(32).imag(), 0.5, 2e-2);
+}
+
+TEST(Shapes, AreaScalesLinearlyWithAmp) {
+  const PulseShape a = PulseShape::gaussian(160, 0.1, 40.0);
+  const PulseShape b = a.with_amp(0.2);
+  EXPECT_NEAR(b.area_ns(), 2.0 * a.area_ns(), 1e-9);
+}
+
+class DurationRescale : public ::testing::TestWithParam<int> {};
+
+TEST_P(DurationRescale, AreaScalesWithDuration) {
+  // with_duration scales sigma/width proportionally, so area ∝ duration.
+  const PulseShape base = PulseShape::gaussian_square(320, 0.25, 40.0, 160.0);
+  const int dur = GetParam();
+  const PulseShape scaled = base.with_duration(dur);
+  EXPECT_EQ(scaled.duration(), dur);
+  EXPECT_NEAR(scaled.area_ns() / base.area_ns(), double(dur) / 320.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, DurationRescale, ::testing::Values(64, 128, 192, 256, 448, 640));
+
+TEST(Shapes, RejectsInvalidParameters) {
+  EXPECT_THROW(PulseShape::gaussian(0, 0.1, 10.0), Error);
+  EXPECT_THROW(PulseShape::gaussian(64, 1.5, 10.0), Error);
+  EXPECT_THROW(PulseShape::gaussian(64, 0.1, -1.0), Error);
+  EXPECT_THROW(PulseShape::gaussian_square(64, 0.1, 10.0, 80.0), Error);
+}
+
+TEST(Schedule, AppendAdvancesPerChannel) {
+  Schedule s;
+  s.append(pulse::Play{PulseShape::gaussian(160, 0.1, 40.0), Channel::drive(0)});
+  s.append(pulse::Play{PulseShape::gaussian(160, 0.1, 40.0), Channel::drive(0)});
+  s.append(pulse::Play{PulseShape::gaussian(64, 0.1, 16.0), Channel::drive(1)});
+  EXPECT_EQ(s.channel_duration(Channel::drive(0)), 320);
+  EXPECT_EQ(s.channel_duration(Channel::drive(1)), 64);
+  EXPECT_EQ(s.duration(), 320);
+  EXPECT_EQ(s.play_count(), 3u);
+}
+
+TEST(Schedule, SequentialVsAlignedComposition) {
+  Schedule a;
+  a.append(pulse::Play{PulseShape::constant(100, 0.1), Channel::drive(0)});
+  Schedule b;
+  b.append(pulse::Play{PulseShape::constant(50, 0.1), Channel::drive(1)});
+
+  Schedule seq = a;
+  seq.append_sequential(b);
+  EXPECT_EQ(seq.duration(), 150);  // b starts after a's full duration
+
+  Schedule par = a;
+  par.append_aligned(b);
+  EXPECT_EQ(par.duration(), 100);  // disjoint channels run in parallel
+}
+
+TEST(Schedule, FrameInstructionsHaveZeroDuration) {
+  Schedule s;
+  s.append(pulse::ShiftPhase{1.0, Channel::drive(0)});
+  s.append(pulse::ShiftFrequency{0.05, Channel::drive(0)});
+  EXPECT_EQ(s.duration(), 0);
+  s.append(pulse::Delay{32, Channel::drive(0)});
+  EXPECT_EQ(s.duration(), 32);
+}
+
+TEST(Schedule, DrawMentionsChannels) {
+  Schedule s("demo");
+  s.append(pulse::Play{PulseShape::gaussian(160, 0.1, 40.0), Channel::drive(2)});
+  s.append(pulse::ShiftPhase{0.5, Channel::drive(2)});
+  const std::string art = s.draw();
+  EXPECT_NE(art.find("d2"), std::string::npos);
+  EXPECT_NE(art.find("#"), std::string::npos);
+}
+
+namespace {
+pulse::CalibrationSet two_qubit_cal() {
+  pulse::CalibrationSet cal;
+  pulse::QubitCalibration q;
+  q.drive_rate_ghz = 0.11;
+  cal.set_qubit(0, q);
+  cal.set_qubit(1, q);
+  pulse::CrCalibration cr;
+  cal.set_cr(0, 1, 0, cr);
+  cal.set_cr(1, 0, 1, cr);
+  return cal;
+}
+}  // namespace
+
+TEST(Calibration, SxAmpMatchesAnalyticFormula) {
+  const auto cal = two_qubit_cal();
+  const double amp = cal.sx_amp(0);
+  const PulseShape unit = PulseShape::drag(160, 1.0, 40.0, 0.0);
+  EXPECT_NEAR(2.0 * la::kPi * 0.11 * amp * unit.area_ns(), la::kPi / 2.0, 1e-9);
+  EXPECT_GT(amp, 0.0);
+  EXPECT_LT(amp, 1.0);
+}
+
+TEST(Calibration, CxScheduleShape) {
+  const auto cal = two_qubit_cal();
+  const Schedule cx = cal.cx(0, 1);
+  // Echo: two CR halves + two X echo pulses + one RX(-pi/2) on the target.
+  EXPECT_EQ(cx.play_count(), 5u);
+  // 2*704 (CR) + 2*160 (echo X) + 160 (target RX).
+  EXPECT_EQ(cx.duration(), 2 * 704 + 2 * 160 + 160);
+}
+
+TEST(Calibration, RzIsVirtual) {
+  const auto cal = two_qubit_cal();
+  const Schedule rz = cal.rz(0, 1.23);
+  EXPECT_EQ(rz.duration(), 0);
+  EXPECT_EQ(rz.play_count(), 0u);
+  // Shifts the drive channel and the CR channel targeting qubit 0.
+  EXPECT_NEAR(pulse::CalibrationSet::drive_phase_shift(rz, 0), -1.23, 1e-12);
+}
+
+TEST(Calibration, EcrAmpScalesWithAngle) {
+  const auto cal = two_qubit_cal();
+  const double a1 = cal.cr_amp(0, 1, la::kPi / 2);
+  const double a2 = cal.cr_amp(0, 1, la::kPi / 4);
+  EXPECT_NEAR(a1 / a2, 2.0, 1e-9);
+}
+
+TEST(Calibration, MeasureSchedule) {
+  auto cal = two_qubit_cal();
+  const Schedule m = cal.measure({0, 1});
+  EXPECT_EQ(m.play_count(), 2u);
+  EXPECT_GT(m.duration(), 0);
+}

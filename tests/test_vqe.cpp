@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/qaoa.hpp"
+#include "core/vqe.hpp"
+#include "linalg/eig.hpp"
+
+using namespace hgp;
+
+TEST(Tfim, HamiltonianStructure) {
+  const la::PauliSum h = core::tfim_hamiltonian(4, 1.0, 0.5);
+  EXPECT_EQ(h.num_qubits(), 4u);
+  EXPECT_EQ(h.size(), 3u + 4u);  // 3 bonds + 4 fields
+  const la::PauliSum hp = core::tfim_hamiltonian(4, 1.0, 0.5, /*periodic=*/true);
+  EXPECT_EQ(hp.size(), 4u + 4u);
+}
+
+TEST(Tfim, ZeroFieldGroundStateIsClassical) {
+  // h = 0: H = -J Σ ZZ; ground energy = -J (n-1) (ferromagnetic states).
+  const la::PauliSum h = core::tfim_hamiltonian(3, 1.0, 0.0);
+  const la::EigResult eg = la::eigh(h.matrix());
+  EXPECT_NEAR(eg.values.front(), -2.0, 1e-9);
+}
+
+TEST(Tfim, KnownTwoSiteSpectrum) {
+  // n=2: H = -J ZZ - h(X1 + X2); ground energy = -sqrt(J² + ... ) —
+  // compute against dense diagonalization of the explicit 4x4.
+  const la::PauliSum h = core::tfim_hamiltonian(2, 1.0, 0.7);
+  const la::EigResult eg = la::eigh(h.matrix());
+  // E0 = -sqrt(1 + 4*0.49)/... verify via characteristic values:
+  // analytic ground state of 2-site TFIM: E0 = -sqrt(J^2 + 4 h^2).
+  EXPECT_NEAR(eg.values.front(), -std::sqrt(1.0 + 4.0 * 0.49), 1e-9);
+}
+
+class VqeOptimizers : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VqeOptimizers, ReachesNearGroundEnergy) {
+  const la::PauliSum h = core::tfim_hamiltonian(3, 1.0, 0.6);
+  const qc::Circuit ansatz = core::hardware_efficient_pqc(3, 2, "linear");
+  core::VqeConfig cfg;
+  cfg.optimizer = GetParam();
+  cfg.max_evaluations = 800;
+  const core::VqeResult res = core::run_vqe(h, ansatz, cfg);
+  EXPECT_GE(res.energy, res.exact_ground - 1e-9);
+  EXPECT_LT(res.relative_error, 0.08) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, VqeOptimizers,
+                         ::testing::Values("cobyla", "neldermead", "spsa"));
+
+TEST(Vqe, EnergyLowerBoundedBySpectrum) {
+  const la::PauliSum h = core::tfim_hamiltonian(2, 1.0, 1.0);
+  const qc::Circuit ansatz = core::hardware_efficient_pqc(2, 1, "linear");
+  const core::VqeResult res = core::run_vqe(h, ansatz);
+  EXPECT_GE(res.energy, res.exact_ground - 1e-9);
+}
+
+TEST(Vqe, RejectsBadInput) {
+  const la::PauliSum h = core::tfim_hamiltonian(3, 1.0, 0.5);
+  EXPECT_THROW(core::run_vqe(h, core::hardware_efficient_pqc(2, 1, "linear")), Error);
+  qc::Circuit no_params(3);
+  no_params.h(0);
+  EXPECT_THROW(core::run_vqe(h, no_params), Error);
+  core::VqeConfig cfg;
+  cfg.optimizer = "bogus";
+  EXPECT_THROW(core::run_vqe(h, core::hardware_efficient_pqc(3, 1, "linear"), cfg), Error);
+}
