@@ -1,0 +1,44 @@
+// Wall-clock timing of the executor's noisy shot loop on the shared
+// heavy-hex ladder program — the per-evaluation hot path of the
+// machine-in-loop workflow. Used to track the trajectory engine's speedup
+// against the seed implementation.
+//
+//   bench_shotloop_timing [num_qubits] [shots] [reps] [threads]
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+
+using namespace hgp;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 12;
+  const std::size_t shots = argc > 2 ? std::stoul(argv[2]) : 256;
+  const int reps = argc > 3 ? std::stoi(argv[3]) : 5;
+  const std::size_t threads = argc > 4 ? std::stoul(argv[4]) : 1;
+
+  const core::Program prog = benchutil::toronto_ladder_program(n);
+  const backend::FakeBackend dev = backend::make_toronto();
+  core::ExecutorOptions opts;
+  opts.num_threads = threads;
+  core::Executor ex(dev, opts);
+  Rng rng(17);
+  ex.run(prog, 1, rng);  // warm the unitary cache
+
+  double best_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::Counts counts = ex.run(prog, shots, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best_s) best_s = s;
+    (void)counts;
+  }
+  std::printf("%zu qubits, %zu shots, %zu threads: best %.3f s (%.1f shots/s)\n", n, shots,
+              threads, best_s, shots / best_s);
+  return 0;
+}

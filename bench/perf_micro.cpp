@@ -1,10 +1,13 @@
 // Microbenchmarks (google-benchmark) for the performance-critical kernels:
-// statevector gate application, pulse-propagator stepping, SABRE routing,
-// M3 mitigation solves, and the Hermitian eigensolver.
+// statevector gate application (specialized vs dense reference), the
+// executor's trajectory/density engines, pulse-propagator stepping, SABRE
+// routing, M3 mitigation solves, and the Hermitian eigensolver.
 #include <benchmark/benchmark.h>
 
 #include "backend/presets.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "core/executor.hpp"
 #include "core/qaoa.hpp"
 #include "graph/instances.hpp"
 #include "linalg/eig.hpp"
@@ -14,6 +17,113 @@
 #include "transpile/sabre.hpp"
 
 using namespace hgp;
+
+namespace {
+
+/// The seed's generic dense 2-qubit apply (pre-specialization): the baseline
+/// the diagonal/permutation kernels are measured against.
+void dense_apply_2q(sim::Statevector& sv, const la::CMat& u, std::size_t q0, std::size_t q1) {
+  la::CVec& amp = sv.data();
+  const std::uint64_t b0 = std::uint64_t{1} << q0;
+  const std::uint64_t b1 = std::uint64_t{1} << q1;
+  for (std::uint64_t i = 0; i < amp.size(); ++i) {
+    if ((i & b0) || (i & b1)) continue;
+    const std::uint64_t i0 = i, i1 = i | b0, i2 = i | b1, i3 = i | b0 | b1;
+    const la::cxd a0 = amp[i0], a1 = amp[i1], a2 = amp[i2], a3 = amp[i3];
+    amp[i0] = u(0, 0) * a0 + u(0, 1) * a1 + u(0, 2) * a2 + u(0, 3) * a3;
+    amp[i1] = u(1, 0) * a0 + u(1, 1) * a1 + u(1, 2) * a2 + u(1, 3) * a3;
+    amp[i2] = u(2, 0) * a0 + u(2, 1) * a1 + u(2, 2) * a2 + u(2, 3) * a3;
+    amp[i3] = u(3, 0) * a0 + u(3, 1) * a1 + u(3, 2) * a2 + u(3, 3) * a3;
+  }
+}
+
+using benchutil::toronto_ladder_program;
+
+}  // namespace
+
+// ---- specialized statevector kernels vs the dense baseline -----------------
+
+static void BM_KernelRzzDense(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const la::CMat rzz = qc::gate_matrix(qc::GateKind::RZZ, {0.37});
+  for (auto _ : state) {
+    dense_apply_2q(sv, rzz, 0, 1);
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelRzzDense)->Arg(12)->Arg(16);
+
+static void BM_KernelRzzDiagonal(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const la::CMat rzz = qc::gate_matrix(qc::GateKind::RZZ, {0.37});
+  for (auto _ : state) {
+    sv.apply_matrix(rzz, {0, 1});  // auto-dispatches to the diagonal kernel
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelRzzDiagonal)->Arg(12)->Arg(16);
+
+static void BM_KernelCxDense(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const la::CMat cx = qc::gate_matrix(qc::GateKind::CX);
+  for (auto _ : state) {
+    dense_apply_2q(sv, cx, 0, 1);
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelCxDense)->Arg(12)->Arg(16);
+
+static void BM_KernelCxPermutation(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const la::CMat cx = qc::gate_matrix(qc::GateKind::CX);
+  for (auto _ : state) {
+    sv.apply_matrix(cx, {0, 1});  // auto-dispatches to the permutation kernel
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelCxPermutation)->Arg(12)->Arg(16);
+
+// ---- executor engines: the per-evaluation hot path --------------------------
+
+static void BM_ExecutorTrajectory(benchmark::State& state) {
+  const backend::FakeBackend dev = backend::make_toronto();
+  core::ExecutorOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  core::Executor ex(dev, opts);
+  const core::Program prog = toronto_ladder_program(static_cast<std::size_t>(state.range(0)));
+  Rng rng(17);
+  ex.run(prog, 1, rng);  // warm the unitary cache outside the timed region
+  // 1024 shots = 4 batches of the parallel grid, so the threads=0 rows
+  // actually exercise multi-threaded batch scheduling.
+  for (auto _ : state) benchmark::DoNotOptimize(ex.run(prog, 1024, rng));
+  state.SetLabel(std::to_string(state.range(0)) + "q, threads=" +
+                 std::to_string(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ExecutorTrajectory)
+    ->Args({12, 1})
+    ->Args({12, 0})
+    ->Args({14, 1})
+    ->Args({14, 0})
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ExecutorExactDensity(benchmark::State& state) {
+  const backend::FakeBackend dev = backend::make_toronto();
+  core::ExecutorOptions opts;
+  opts.engine = core::Engine::ExactDensity;
+  core::Executor ex(dev, opts);
+  const core::Program prog = toronto_ladder_program(static_cast<std::size_t>(state.range(0)));
+  Rng rng(19);
+  ex.run(prog, 1, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ex.run(prog, 256, rng));
+  state.SetLabel(std::to_string(state.range(0)) + "q exact");
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ExecutorExactDensity)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
 static void BM_StatevectorCx(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

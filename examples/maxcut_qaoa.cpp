@@ -2,7 +2,9 @@
 // hybrid gate-pulse, pulse-level) on one Max-Cut task, with and without the
 // Step II/III optimizations, and run the Step I duration search.
 //
-//   build/examples/example_maxcut_qaoa [backend] [task]
+//   build/example_maxcut_qaoa [backend] [task] [engine]
+//
+// `engine` selects the executor noise engine: "trajectory" | "density".
 #include <cstdio>
 #include <string>
 
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
 
   const std::string backend_name = argc > 1 ? argv[1] : "ibmq_toronto";
   const int task = argc > 2 ? std::stoi(argv[2]) : 1;
+  const std::string engine = argc > 3 ? argv[3] : "trajectory";
 
   const graph::Instance instance = task == 1   ? graph::paper_task1()
                                    : task == 2 ? graph::paper_task2()
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
   for (const auto kind :
        {core::ModelKind::GateLevel, core::ModelKind::Hybrid, core::ModelKind::PulseLevel}) {
     core::RunConfig raw_cfg;
+    raw_cfg.engine = engine;
     raw_cfg.max_evaluations = kind == core::ModelKind::PulseLevel ? 200 : 50;
     const auto raw = core::run_qaoa(instance, dev, kind, raw_cfg);
 
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   // Step I: binary search for the shortest mixer pulse (hybrid model).
   std::printf("Step I duration search (hybrid, GO+M3):\n");
   core::RunConfig search_cfg;
+  search_cfg.engine = engine;
   search_cfg.gate_optimization = true;
   search_cfg.m3 = true;
   const auto outcome = core::optimize_mixer_duration(instance, dev, search_cfg);

@@ -23,6 +23,14 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng Rng::child(std::uint64_t base, std::uint64_t stream) {
+  // Mix the stream index into the base with one splitmix round so adjacent
+  // streams land far apart; the constructor's per-word splitmix then expands
+  // the combined seed into a decorrelated xoshiro state.
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+  return Rng(splitmix64(x));
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

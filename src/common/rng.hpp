@@ -13,6 +13,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+  /// Derive an independent child stream from a base value (typically one
+  /// next_u64() draw of a parent Rng) and a stream index. Used by the
+  /// executor's parallel shot engine: each shot batch gets child(base, b),
+  /// so results are bit-identical regardless of how batches are scheduled
+  /// across threads.
+  static Rng child(std::uint64_t base, std::uint64_t stream);
+
   std::uint64_t next_u64();
 
   /// Uniform double in [0, 1).

@@ -1,8 +1,13 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <iomanip>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "noise/channels.hpp"
@@ -13,6 +18,12 @@ namespace hgp::core {
 using la::CMat;
 
 namespace {
+
+/// Shots per work unit of the parallel trajectory engine. The batch grid is
+/// fixed (independent of thread count) and each batch draws from its own
+/// child RNG stream, so the merged counts are bit-identical no matter how
+/// many workers run or how the OS schedules them.
+constexpr std::size_t kShotsPerBatch = 256;
 
 bool is_virtual_gate(qc::GateKind k) {
   switch (k) {
@@ -52,7 +63,121 @@ bool has_frequency_instruction(const pulse::Schedule& sched) {
   return false;
 }
 
+// ---- trajectory-specialized channel kernels --------------------------------
+//
+// The per-shot hot path keeps the statevector *unnormalized* and carries its
+// squared norm in `weight`: every branch probability is measured against
+// weight instead of renormalizing the vector after each Kraus branch. This
+// turns the generic 3-full-pass thermal relaxation (prob_one + damp +
+// rescale) into at most one half-pass over the |1>-subspace per call while
+// sampling the exact same quantum-jump unraveling as noise::apply_* (the
+// reference implementation the parity tests compare against).
+
+/// Iterate f(idx) over all basis indices with bit q set.
+template <typename F>
+inline void for_each_one(std::uint64_t size, std::uint64_t bit, F&& f) {
+  for (std::uint64_t base = bit; base < size; base += 2 * bit)
+    for (std::uint64_t i = base; i < base + bit; ++i) f(i);
+}
+
+void traj_thermal_relaxation(sim::Statevector& sv, double& weight, std::size_t q,
+                             double t1_us, double t2_us, double duration_ns, Rng& rng) {
+  if (duration_ns <= 0.0) return;
+  HGP_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "traj_thermal_relaxation: bad T1/T2");
+  la::CVec& amp = sv.data();
+  const std::uint64_t size = amp.size();
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const double t_us = duration_ns * 1e-3;
+  const double gamma = 1.0 - std::exp(-t_us / t1_us);
+
+  if (gamma > 0.0) {
+    // Jump iff u < gamma * m1 with m1 the unnormalized |1> mass — the exact
+    // branch probability gamma * (m1 / weight). Since m1 <= weight, a draw
+    // u >= gamma * weight settles "no jump" without measuring m1 at all.
+    const double u = rng.uniform() * weight;
+    bool jumped = false;
+    if (u < gamma * weight) {
+      double m1 = 0.0;
+      for_each_one(size, bit, [&](std::uint64_t i) { m1 += std::norm(amp[i]); });
+      if (u < gamma * m1) {
+        // K1 = sqrt(gamma)|0><1|: project onto |1> and reset to |0>, fused
+        // into one move over the paired indices.
+        for_each_one(size, bit, [&](std::uint64_t i) {
+          amp[i ^ bit] = amp[i];
+          amp[i] = la::cxd{0.0, 0.0};
+        });
+        weight = m1;
+        jumped = true;
+      }
+    }
+    if (!jumped) {
+      // K0 = diag(1, sqrt(1-gamma)): damp the |1> amplitudes, measuring
+      // their pre-damp mass on the fly if the shortcut skipped it.
+      const double damp = std::sqrt(1.0 - gamma);
+      double m1_old = 0.0;
+      for_each_one(size, bit, [&](std::uint64_t i) {
+        m1_old += std::norm(amp[i]);
+        amp[i] *= damp;
+      });
+      weight -= gamma * m1_old;
+    }
+  }
+
+  // Pure dephasing: a state-independent phase flip — half-pass only when the
+  // (rare) flip fires.
+  const double t2 = std::min(t2_us, 2.0 * t1_us);
+  const double inv_tphi = 1.0 / t2 - 0.5 / t1_us;
+  if (inv_tphi > 1e-12) {
+    const double p_z = 0.5 * (1.0 - std::exp(-t_us * inv_tphi));
+    if (rng.bernoulli(p_z))
+      for_each_one(size, bit, [&](std::uint64_t i) { amp[i] = -amp[i]; });
+  }
+}
+
+/// diag(d0, d1) up to global phase (irrelevant within one trajectory):
+/// multiply the |1> amplitudes by d1/d0 — a half-pass instead of a full
+/// diagonal apply. Covers RZ drift and every virtual block (all diagonal).
+void traj_phase(sim::Statevector& sv, std::size_t q, la::cxd ratio) {
+  if (ratio == la::cxd{1.0, 0.0}) return;
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for_each_one(sv.data().size(), bit, [&](std::uint64_t i) { sv.data()[i] *= ratio; });
+}
+
+void traj_rz(sim::Statevector& sv, std::size_t q, double angle) {
+  traj_phase(sv, q, std::polar(1.0, angle));
+}
+
+/// True when u is a diagonal 2x2.
+bool is_diagonal2(const la::CMat& u) {
+  return u.rows() == 2 && u(0, 1) == la::cxd{0.0, 0.0} && u(1, 0) == la::cxd{0.0, 0.0};
+}
+
+/// Single-outcome measurement of the unnormalized state.
+std::uint64_t traj_sample_one(const sim::Statevector& sv, double weight, Rng& rng) {
+  const la::CVec& amp = sv.data();
+  const double x = rng.uniform() * weight;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < amp.size(); ++i) {
+    acc += std::norm(amp[i]);
+    if (x < acc) return i;
+  }
+  return amp.size() - 1;
+}
+
 }  // namespace
+
+Engine engine_from_name(const std::string& name) {
+  if (name == "trajectory") return Engine::Trajectory;
+  if (name == "density" || name == "exact_density") return Engine::ExactDensity;
+  throw Error("engine_from_name: unknown engine '" + name +
+              "' (expected 'trajectory' or 'density')");
+}
+
+const std::string& engine_name(Engine engine) {
+  static const std::string traj = "trajectory";
+  static const std::string dens = "density";
+  return engine == Engine::Trajectory ? traj : dens;
+}
 
 Executor::Executor(const backend::FakeBackend& dev, ExecutorOptions options)
     : dev_(dev), options_(options) {}
@@ -122,13 +247,19 @@ Executor::CompiledBlock Executor::compile_gate(const qc::Op& op) {
       // realization was requested.
       const double theta = op.params[0].value();
       sched = cal.rzz_direct(op.qubits[0], op.qubits[1], theta);
-      key << ",theta=" << theta;
+      // Exact (hexfloat) parameter formatting: the default 6-sig-fig ostream
+      // rendering made nearby angles collide on one cache slot, replaying a
+      // stale compiled block for a different theta.
+      key << ",theta=" << std::hexfloat << theta << std::defaultfloat;
       break;
     }
     default:
       throw Error("Executor: program not in native basis (got " + qc::gate_name(op.kind) +
                   "); transpile first");
   }
+  // Duration disambiguates parameter-dependent calibrations further (e.g. a
+  // re-calibrated schedule at the same angle but a different stretch).
+  key << ",dur=" << sched.duration();
 
   const auto cached = cache_.find(key.str());
   if (cached != cache_.end()) return cached->second;
@@ -160,141 +291,293 @@ Executor::CompiledBlock Executor::compile_pulse(const ExecOp& op) {
   return block;
 }
 
-sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
-  HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+Executor::CompiledProgram Executor::compile_program(const Program& program,
+                                                    std::size_t max_qubits) {
+  CompiledProgram cp;
 
   // Physical -> local compression.
-  std::vector<std::size_t> touched;
   auto touch = [&](std::size_t q) {
-    if (std::find(touched.begin(), touched.end(), q) == touched.end()) touched.push_back(q);
+    if (std::find(cp.touched.begin(), cp.touched.end(), q) == cp.touched.end())
+      cp.touched.push_back(q);
   };
   for (const ExecOp& op : program.ops)
     for (std::size_t q : (op.is_pulse ? op.qubits : op.gate.qubits)) touch(q);
   for (std::size_t q : program.measure_qubits) touch(q);
-  std::sort(touched.begin(), touched.end());
-  HGP_REQUIRE(touched.size() <= 14, "Executor::run: too many active qubits to simulate");
+  std::sort(cp.touched.begin(), cp.touched.end());
+  HGP_REQUIRE(cp.touched.size() <= max_qubits,
+              "Executor::run: too many active qubits to simulate");
   std::map<std::size_t, std::size_t> local_of;
-  for (std::size_t i = 0; i < touched.size(); ++i) local_of[touched[i]] = i;
+  for (std::size_t i = 0; i < cp.touched.size(); ++i) local_of[cp.touched[i]] = i;
+  cp.measure_phys = program.measure_qubits;
+  for (std::size_t q : program.measure_qubits) cp.measure_local.push_back(local_of.at(q));
 
-  // Compile blocks and lay out the ASAP timeline.
-  struct Scheduled {
-    CompiledBlock block;
-    std::vector<std::size_t> local;      // local qubit indices
-    std::vector<int> idle_before_dt;     // per local qubit of the block
-  };
-  std::vector<Scheduled> timeline;
-  std::vector<int> clock(touched.size(), 0);
+  // Compile blocks and lay out the ASAP timeline. Consecutive virtual
+  // (diagonal Z-frame) blocks on a qubit fold into one diagonal unitary:
+  // they commute with idle relaxation/drift up to a trajectory-global phase,
+  // and a fold halves the per-shot apply count of RZ-heavy programs.
+  cp.clock.assign(cp.touched.size(), 0);
+  std::vector<long> pending_virtual(cp.touched.size(), -1);
 
   for (const ExecOp& op : program.ops) {
     if (!op.is_pulse && op.gate.kind == qc::GateKind::Barrier) {
-      const int t = *std::max_element(clock.begin(), clock.end());
-      std::fill(clock.begin(), clock.end(), t);
+      const int t = *std::max_element(cp.clock.begin(), cp.clock.end());
+      std::fill(cp.clock.begin(), cp.clock.end(), t);
       continue;
     }
     if (!op.is_pulse && op.gate.kind == qc::GateKind::Measure) continue;
     Scheduled s;
     s.block = op.is_pulse ? compile_pulse(op) : compile_gate(op.gate);
     for (std::size_t q : s.block.qubits) s.local.push_back(local_of.at(q));
-    int t0 = 0;
-    for (std::size_t lq : s.local) t0 = std::max(t0, clock[lq]);
-    for (std::size_t lq : s.local) {
-      s.idle_before_dt.push_back(t0 - clock[lq]);
-      clock[lq] = t0 + s.block.duration_dt;
-    }
-    timeline.push_back(std::move(s));
-  }
-  const int makespan = clock.empty() ? 0 : *std::max_element(clock.begin(), clock.end());
-  report_ = ExecutionReport{makespan, dev_.readout_duration_dt(), timeline.size()};
 
+    if (s.block.virtual_only && s.local.size() == 1) {
+      const std::size_t lq = s.local[0];
+      if (pending_virtual[lq] >= 0) {
+        CompiledBlock& pending = cp.timeline[pending_virtual[lq]].block;
+        pending.unitary = s.block.unitary * pending.unitary;
+        continue;
+      }
+      s.idle_before_dt.push_back(0);
+      cp.timeline.push_back(std::move(s));
+      pending_virtual[lq] = static_cast<long>(cp.timeline.size()) - 1;
+      continue;
+    }
+
+    int t0 = 0;
+    for (std::size_t lq : s.local) t0 = std::max(t0, cp.clock[lq]);
+    for (std::size_t lq : s.local) {
+      s.idle_before_dt.push_back(t0 - cp.clock[lq]);
+      cp.clock[lq] = t0 + s.block.duration_dt;
+      pending_virtual[lq] = -1;
+    }
+    cp.timeline.push_back(std::move(s));
+  }
+  cp.makespan_dt =
+      cp.clock.empty() ? 0 : *std::max_element(cp.clock.begin(), cp.clock.end());
+  return cp;
+}
+
+std::uint64_t Executor::map_bits(std::uint64_t bits, const CompiledProgram& cp) {
+  std::uint64_t mapped = 0;
+  for (std::size_t i = 0; i < cp.measure_local.size(); ++i)
+    if ((bits >> cp.measure_local[i]) & 1) mapped |= (std::uint64_t{1} << i);
+  return mapped;
+}
+
+sim::Counts Executor::run_noiseless(const CompiledProgram& cp, std::size_t shots,
+                                    Rng& rng) const {
+  // Noiseless execution is deterministic — evolve once, sample.
+  sim::Statevector sv(cp.touched.size());
+  for (const Scheduled& s : cp.timeline) sv.apply_matrix(s.block.unitary, s.local);
+  const sim::Counts local_counts = sv.sample(shots, rng);
+  sim::Counts out;
+  for (const auto& [bits, n] : local_counts) out[map_bits(bits, cp)] += n;
+  return out;
+}
+
+void Executor::run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng& rng,
+                            sim::Counts& out) const {
   const noise::NoiseModel& nm = dev_.noise_model();
-  const bool noisy = options_.noise;
   const double dep1 = nm.dep_per_1q_pulse;
   const double dep2 = nm.dep_per_2q_block;
+  // Squared norm of the (deferred-normalization) trajectory state.
+  double weight = 1.0;
 
-  auto relax = [&](sim::Statevector& sv, std::size_t lq, int duration_dt) {
+  auto relax = [&](std::size_t lq, int duration_dt) {
     if (duration_dt <= 0) return;
-    const noise::QubitNoise& qn = nm.qubits[touched[lq]];
-    noise::apply_thermal_relaxation(sv, lq, qn.t1_us, qn.t2_us, duration_dt * pulse::kDtNs,
-                                    rng);
+    const noise::QubitNoise& qn = nm.qubits[cp.touched[lq]];
+    traj_thermal_relaxation(sv, weight, lq, qn.t1_us, qn.t2_us,
+                            duration_dt * pulse::kDtNs, rng);
   };
   // Coherent frame drift while idling: the qubit precesses at its true
   // (drifted) frequency but the frame stays at the calibrated one, so a
   // static Z-phase builds up — shot-independent, hence *learnable* by the
   // pulse ansatz's phase knob but invisible to fixed gate calibrations.
   // (During blocks the subsystem Hamiltonian carries the same detuning.)
-  auto idle_drift = [&](sim::Statevector& sv, std::size_t lq, int duration_dt) {
+  auto idle_drift = [&](std::size_t lq, int duration_dt) {
     if (duration_dt <= 0 || !options_.coherent_noise) return;
-    const double drift = nm.qubits[touched[lq]].freq_drift_ghz;
+    const double drift = nm.qubits[cp.touched[lq]].freq_drift_ghz;
     if (drift == 0.0) return;
     const double angle = 2.0 * la::kPi * drift * duration_dt * pulse::kDtNs;
-    sv.apply_matrix(qc::gate_matrix(qc::GateKind::RZ, {angle}), {lq});
+    traj_rz(sv, lq, angle);
   };
 
-  // Fast path: noiseless execution is deterministic — evolve once, sample.
-  if (!noisy) {
-    sim::Statevector sv(touched.size());
-    for (const Scheduled& s : timeline) sv.apply_matrix(s.block.unitary, s.local);
-    sim::Counts local_counts = sv.sample(shots, rng);
-    sim::Counts out;
-    for (const auto& [bits, n] : local_counts) {
-      std::uint64_t mapped = 0;
-      for (std::size_t i = 0; i < program.measure_qubits.size(); ++i)
-        if ((bits >> local_of.at(program.measure_qubits[i])) & 1)
-          mapped |= (std::uint64_t{1} << i);
-      out[mapped] += n;
+  for (const Scheduled& s : cp.timeline) {
+    for (std::size_t i = 0; i < s.local.size(); ++i) {
+      relax(s.local[i], s.idle_before_dt[i]);
+      idle_drift(s.local[i], s.idle_before_dt[i]);
     }
-    return out;
+    if (s.block.virtual_only && s.local.size() == 1 && is_diagonal2(s.block.unitary)) {
+      // Virtual Z-frame blocks are diagonal: half-pass, global phase dropped.
+      traj_phase(sv, s.local[0], s.block.unitary(1, 1) / s.block.unitary(0, 0));
+      continue;
+    }
+    sv.apply_matrix(s.block.unitary, s.local);
+    if (s.block.virtual_only) continue;
+    for (std::size_t lq : s.local) relax(lq, s.block.duration_dt);
+    if (s.block.explicit_idle) {
+      for (std::size_t lq : s.local) idle_drift(lq, s.block.duration_dt);
+      continue;
+    }
+    if (s.block.drive_plays > 0) {
+      // Charge 1q depolarizing per drive pulse, spread over the block's
+      // qubits (exact for 1q blocks; even split for multi-qubit blocks).
+      const double p = dep1 * static_cast<double>(s.block.drive_plays) /
+                       static_cast<double>(s.local.size());
+      for (std::size_t lq : s.local) noise::apply_depolarizing(sv, {lq}, p, rng);
+    }
+    if (s.block.cr_halves > 0 && s.local.size() >= 2) {
+      const double p = dep2 * static_cast<double>(s.block.cr_halves) / 2.0;
+      noise::apply_depolarizing(sv, {s.local[0], s.local[1]}, p, rng);
+    }
+  }
+  // Idle to the end of the circuit, then decohere through readout.
+  for (std::size_t lq = 0; lq < cp.touched.size(); ++lq)
+    relax(lq, cp.makespan_dt - cp.clock[lq] + dev_.readout_duration_dt());
+
+  std::uint64_t bits = traj_sample_one(sv, weight, rng);
+  if (options_.readout_error) {
+    for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
+      const std::size_t lq = cp.measure_local[i];
+      const bool one = (bits >> lq) & 1;
+      const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
+      const double p_flip = one ? re.p0_given_1 : re.p1_given_0;
+      if (rng.bernoulli(p_flip)) bits ^= (std::uint64_t{1} << lq);
+    }
+  }
+  ++out[map_bits(bits, cp)];
+}
+
+sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t shots,
+                                       Rng& rng) const {
+  const std::size_t num_batches = (shots + kShotsPerBatch - 1) / kShotsPerBatch;
+  // One parent draw seeds the whole batch grid: the caller's Rng advances by
+  // exactly one step regardless of shots, batches, or thread count.
+  const std::uint64_t base = rng.next_u64();
+
+  std::vector<sim::Counts> batch_counts(num_batches);
+  auto run_batch = [&](std::size_t b) {
+    Rng batch_rng = Rng::child(base, b);
+    const std::size_t first = b * kShotsPerBatch;
+    const std::size_t count = std::min(kShotsPerBatch, shots - first);
+    sim::Statevector sv(cp.touched.size());
+    for (std::size_t s = 0; s < count; ++s) {
+      if (s != 0) sv.reset();
+      run_one_shot(cp, sv, batch_rng, batch_counts[b]);
+    }
+  };
+
+  std::size_t threads =
+      options_.num_threads ? options_.num_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, num_batches);
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < num_batches; ++b) run_batch(b);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        try {
+          for (std::size_t b = next.fetch_add(1); b < num_batches; b = next.fetch_add(1))
+            run_batch(b);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
+  // Deterministic merge: batch order is fixed and count addition commutes.
   sim::Counts out;
-  for (std::size_t shot = 0; shot < shots; ++shot) {
-    sim::Statevector sv(touched.size());
-    for (const Scheduled& s : timeline) {
-      for (std::size_t i = 0; i < s.local.size(); ++i) {
-        relax(sv, s.local[i], s.idle_before_dt[i]);
-        idle_drift(sv, s.local[i], s.idle_before_dt[i]);
-      }
-      sv.apply_matrix(s.block.unitary, s.local);
-      if (s.block.virtual_only) continue;
-      for (std::size_t lq : s.local) relax(sv, lq, s.block.duration_dt);
-      if (s.block.explicit_idle) {
-        for (std::size_t lq : s.local) idle_drift(sv, lq, s.block.duration_dt);
-        continue;
-      }
-      if (s.block.drive_plays > 0) {
-        // Charge 1q depolarizing per drive pulse, spread over the block's
-        // qubits (exact for 1q blocks; even split for multi-qubit blocks).
-        const double p = dep1 * static_cast<double>(s.block.drive_plays) /
-                         static_cast<double>(s.local.size());
-        for (std::size_t lq : s.local) noise::apply_depolarizing(sv, {lq}, p, rng);
-      }
-      if (s.block.cr_halves > 0 && s.local.size() >= 2) {
-        const double p = dep2 * static_cast<double>(s.block.cr_halves) / 2.0;
-        noise::apply_depolarizing(sv, {s.local[0], s.local[1]}, p, rng);
-      }
-    }
-    // Idle to the end of the circuit, then decohere through readout.
-    for (std::size_t lq = 0; lq < touched.size(); ++lq)
-      relax(sv, lq, makespan - clock[lq] + dev_.readout_duration_dt());
-
-    std::uint64_t bits = sv.sample(1, rng).begin()->first;
-    if (options_.readout_error) {
-      for (std::size_t i = 0; i < program.measure_qubits.size(); ++i) {
-        const std::size_t phys = program.measure_qubits[i];
-        const std::size_t lq = local_of.at(phys);
-        const bool one = (bits >> lq) & 1;
-        const noise::ReadoutError& re = nm.qubits[phys].readout;
-        const double p_flip = one ? re.p0_given_1 : re.p1_given_0;
-        if (rng.bernoulli(p_flip)) bits ^= (std::uint64_t{1} << lq);
-      }
-    }
-    std::uint64_t mapped = 0;
-    for (std::size_t i = 0; i < program.measure_qubits.size(); ++i)
-      if ((bits >> local_of.at(program.measure_qubits[i])) & 1)
-        mapped |= (std::uint64_t{1} << i);
-    ++out[mapped];
-  }
+  for (const sim::Counts& bc : batch_counts)
+    for (const auto& [bits, n] : bc) out[bits] += n;
   return out;
+}
+
+sim::Counts Executor::run_exact_density(const CompiledProgram& cp, std::size_t shots,
+                                        Rng& rng) const {
+  const noise::NoiseModel& nm = dev_.noise_model();
+  sim::DensityMatrix dm(cp.touched.size());
+
+  auto relax = [&](std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0) return;
+    const noise::QubitNoise& qn = nm.qubits[cp.touched[lq]];
+    dm.apply_thermal_relaxation(lq, qn.t1_us, qn.t2_us, duration_dt * pulse::kDtNs);
+  };
+  auto idle_drift = [&](std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0 || !options_.coherent_noise) return;
+    const double drift = nm.qubits[cp.touched[lq]].freq_drift_ghz;
+    if (drift == 0.0) return;
+    const double angle = 2.0 * la::kPi * drift * duration_dt * pulse::kDtNs;
+    dm.apply_matrix(qc::gate_matrix(qc::GateKind::RZ, {angle}), {lq});
+  };
+
+  for (const Scheduled& s : cp.timeline) {
+    for (std::size_t i = 0; i < s.local.size(); ++i) {
+      relax(s.local[i], s.idle_before_dt[i]);
+      idle_drift(s.local[i], s.idle_before_dt[i]);
+    }
+    dm.apply_matrix(s.block.unitary, s.local);
+    if (s.block.virtual_only) continue;
+    for (std::size_t lq : s.local) relax(lq, s.block.duration_dt);
+    if (s.block.explicit_idle) {
+      for (std::size_t lq : s.local) idle_drift(lq, s.block.duration_dt);
+      continue;
+    }
+    if (s.block.drive_plays > 0) {
+      const double p = nm.dep_per_1q_pulse * static_cast<double>(s.block.drive_plays) /
+                       static_cast<double>(s.local.size());
+      for (std::size_t lq : s.local) dm.apply_depolarizing({lq}, p);
+    }
+    if (s.block.cr_halves > 0 && s.local.size() >= 2) {
+      const double p = nm.dep_per_2q_block * static_cast<double>(s.block.cr_halves) / 2.0;
+      dm.apply_depolarizing({s.local[0], s.local[1]}, p);
+    }
+  }
+  for (std::size_t lq = 0; lq < cp.touched.size(); ++lq)
+    relax(lq, cp.makespan_dt - cp.clock[lq] + dev_.readout_duration_dt());
+
+  // Marginalize the exact distribution onto the measured bits.
+  const std::vector<double> p_full = dm.probabilities();
+  std::vector<double> p(std::size_t{1} << cp.measure_local.size(), 0.0);
+  for (std::uint64_t i = 0; i < p_full.size(); ++i) p[map_bits(i, cp)] += p_full[i];
+
+  // Readout confusion folds in exactly as a per-bit stochastic 2x2 map.
+  if (options_.readout_error) {
+    for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
+      const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      for (std::uint64_t idx = 0; idx < p.size(); ++idx) {
+        if (idx & bit) continue;
+        const double p0 = p[idx], p1 = p[idx | bit];
+        p[idx] = (1.0 - re.p1_given_0) * p0 + re.p0_given_1 * p1;
+        p[idx | bit] = re.p1_given_0 * p0 + (1.0 - re.p0_given_1) * p1;
+      }
+    }
+  }
+
+  // The only stochastic element left: multinomial shot noise on the exact
+  // distribution.
+  return sim::sample_from_probabilities(p, shots, rng);
+}
+
+sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
+  HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+
+  const bool noisy = options_.noise;
+  const bool density = noisy && options_.engine == Engine::ExactDensity;
+  const CompiledProgram cp = compile_program(program, density ? 10 : 14);
+  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
+
+  if (!noisy) return run_noiseless(cp, shots, rng);
+  if (density) return run_exact_density(cp, shots, rng);
+  return run_trajectories(cp, shots, rng);
 }
 
 }  // namespace hgp::core

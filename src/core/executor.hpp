@@ -2,13 +2,32 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "backend/backend.hpp"
 #include "common/rng.hpp"
 #include "core/program.hpp"
+#include "sim/density.hpp"
+#include "sim/state.hpp"
 #include "sim/statevector.hpp"
 
 namespace hgp::core {
+
+/// How the executor turns a compiled program plus a noise model into counts.
+enum class Engine {
+  /// Sample shots as statevector quantum trajectories (the machine-in-loop
+  /// production path; scales to ~14 active qubits). Shots are batched across
+  /// worker threads with per-batch child RNG streams, so counts are
+  /// bit-identical regardless of thread count.
+  Trajectory,
+  /// One exact density-matrix pass with Kraus channels — no shot loop at
+  /// all. Exact statistics for small registers (<= 10 active qubits).
+  ExactDensity,
+};
+
+/// Parse "trajectory" | "density" (throws on anything else).
+Engine engine_from_name(const std::string& name);
+const std::string& engine_name(Engine engine);
 
 struct ExecutorOptions {
   /// Master switch: false = ideal (noiseless, exact gate matrices).
@@ -19,6 +38,11 @@ struct ExecutorOptions {
   /// miscalibration included). When false, gates use exact matrices but
   /// incoherent noise still applies.
   bool coherent_noise = true;
+  /// Noise engine: sampled trajectories or a single exact density pass.
+  Engine engine = Engine::Trajectory;
+  /// Worker threads for the trajectory shot loop (0 = hardware concurrency).
+  /// Counts are identical for every value — threads only change wall clock.
+  std::size_t num_threads = 0;
 };
 
 /// Timing/duration report of one executed program.
@@ -31,9 +55,10 @@ struct ExecutionReport {
 /// The machine-in-loop execution engine: compiles a Program's steps into
 /// per-block unitaries (gate blocks through the backend's calibrated pulse
 /// schedules, pulse blocks through the pulse simulator — both including the
-/// device's coherent miscalibration), then samples shots as quantum
-/// trajectories with per-block depolarizing charges, per-qubit thermal
-/// relaxation over the ASAP timeline, and readout confusion.
+/// device's coherent miscalibration), then realizes noise either as sampled
+/// quantum trajectories (per-block depolarizing charges, per-qubit thermal
+/// relaxation over the ASAP timeline, readout confusion) or as one exact
+/// density-matrix pass over the same timeline.
 class Executor {
  public:
   Executor(const backend::FakeBackend& dev, ExecutorOptions options = {});
@@ -55,10 +80,41 @@ class Executor {
     bool explicit_idle = false;        // Delay: relaxation + coherent drift
   };
 
+  /// One block placed on the ASAP timeline in local qubit coordinates.
+  struct Scheduled {
+    CompiledBlock block;
+    std::vector<std::size_t> local;   // local qubit indices
+    std::vector<int> idle_before_dt;  // per local qubit of the block
+  };
+
+  /// A program compiled down to the engine-independent representation: the
+  /// block timeline over the compressed (touched-only) register plus the
+  /// measurement maps.
+  struct CompiledProgram {
+    std::vector<Scheduled> timeline;
+    std::vector<std::size_t> touched;       // sorted physical qubits
+    std::vector<std::size_t> measure_phys;  // physical qubit per measured bit
+    std::vector<std::size_t> measure_local; // local qubit per measured bit
+    std::vector<int> clock;                 // per-local end time
+    int makespan_dt = 0;
+  };
+
   CompiledBlock compile_gate(const qc::Op& op);
   CompiledBlock compile_pulse(const ExecOp& op);
   la::CMat simulate_block(const pulse::Schedule& physical_sched,
                           const std::vector<std::size_t>& qubits) const;
+
+  CompiledProgram compile_program(const Program& program, std::size_t max_qubits);
+  /// Compress measured bits out of a local-register basis index.
+  static std::uint64_t map_bits(std::uint64_t bits, const CompiledProgram& cp);
+
+  sim::Counts run_noiseless(const CompiledProgram& cp, std::size_t shots, Rng& rng) const;
+  sim::Counts run_trajectories(const CompiledProgram& cp, std::size_t shots, Rng& rng) const;
+  /// One trajectory: evolve `sv` (already reset) through the timeline and
+  /// record a single readout into `out`.
+  void run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng& rng,
+                    sim::Counts& out) const;
+  sim::Counts run_exact_density(const CompiledProgram& cp, std::size_t shots, Rng& rng) const;
 
   const backend::FakeBackend& dev_;
   ExecutorOptions options_;

@@ -1,7 +1,8 @@
 #include "core/qaoa.hpp"
 
+#include <memory>
+
 #include "common/error.hpp"
-#include "sim/statevector.hpp"
 
 namespace hgp::core {
 
@@ -47,11 +48,12 @@ qc::Circuit qaoa_circuit(const graph::Graph& g, int p) {
   return c;
 }
 
-double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<double>& theta) {
-  sim::Statevector sv(g.num_vertices());
-  sv.run(qaoa_circuit(g, p).bound(theta));
+double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<double>& theta,
+                              sim::StateKind backend) {
+  const std::unique_ptr<sim::QuantumState> state = sim::make_state(backend, g.num_vertices());
+  state->run(qaoa_circuit(g, p).bound(theta));
   const la::PauliSum h = maxcut_hamiltonian(g);
-  return sv.expectation(h);
+  return state->expectation(h);
 }
 
 qc::Circuit hardware_efficient_pqc(std::size_t num_qubits, int layers,

@@ -5,7 +5,7 @@
 #include "circuit/circuit.hpp"
 #include "graph/graph.hpp"
 #include "linalg/pauli.hpp"
-#include "sim/statevector.hpp"
+#include "sim/state.hpp"
 
 namespace hgp::core {
 
@@ -28,9 +28,12 @@ qc::Circuit qaoa_circuit(const graph::Graph& g, int p);
 inline int gamma_index(int layer) { return 2 * layer; }
 inline int beta_index(int layer) { return 2 * layer + 1; }
 
-/// Noiseless QAOA cut expectation at given angles (statevector, no shots):
-/// used by tests and for locating good initial angles.
-double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<double>& theta);
+/// Noiseless QAOA cut expectation at given angles (no shots): used by tests
+/// and for locating good initial angles. `backend` selects the simulation
+/// representation by name ("statevector" default; "density" cross-checks the
+/// exact mixed-state path).
+double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<double>& theta,
+                              sim::StateKind backend = sim::StateKind::Statevector);
 
 /// Hardware-efficient PQC of Fig. 2b: per-layer U3 rotations plus a CX
 /// entanglement layer ("linear", "circular", or "full"). Provided for the

@@ -1,6 +1,7 @@
 #include "core/vqe.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
 #include "linalg/eig.hpp"
@@ -8,7 +9,7 @@
 #include "optimize/gradient.hpp"
 #include "optimize/neldermead.hpp"
 #include "optimize/spsa.hpp"
-#include "sim/statevector.hpp"
+#include "sim/state.hpp"
 
 namespace hgp::core {
 
@@ -34,10 +35,12 @@ VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
   const std::size_t nparams = ansatz.num_parameters();
   HGP_REQUIRE(nparams >= 1, "run_vqe: ansatz has no parameters");
 
+  const sim::StateKind backend = sim::state_kind_from_name(config.state_backend);
   const opt::Objective energy = [&](const std::vector<double>& theta) {
-    sim::Statevector sv(ansatz.num_qubits());
-    sv.run(ansatz.bound(theta));
-    return sv.expectation(hamiltonian);
+    const std::unique_ptr<sim::QuantumState> state =
+        sim::make_state(backend, ansatz.num_qubits());
+    state->run(ansatz.bound(theta));
+    return state->expectation(hamiltonian);
   };
 
   std::vector<double> x0(nparams, 0.1);

@@ -16,6 +16,9 @@ namespace hgp::core {
 struct VqeConfig {
   int max_evaluations = 300;
   std::string optimizer = "cobyla";  // "cobyla" | "neldermead" | "spsa" | "adam"
+  /// Simulation backend evaluating <H>: "statevector" (default) or
+  /// "density" (exact mixed-state reference, small registers).
+  std::string state_backend = "statevector";
   std::uint64_t seed = 5;
 };
 

@@ -35,7 +35,10 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   mcfg.gate_optimization = config.gate_optimization;
   QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);
 
-  Executor executor(dev);
+  ExecutorOptions eopt;
+  eopt.engine = engine_from_name(config.engine);
+  eopt.num_threads = config.executor_threads;
+  Executor executor(dev, eopt);
   Rng rng(config.seed);
 
   // M3 readout calibration (paper §IV-D): estimate the per-qubit confusion

@@ -28,6 +28,13 @@ struct RunConfig {
   /// Classical optimizer driving the machine-in-loop training:
   /// "cobyla" (paper default) | "spsa" | "neldermead".
   std::string optimizer = "cobyla";
+  /// Noise engine of the executor: "trajectory" (sampled shots, scales to
+  /// ~14 active qubits) or "density" (one exact density-matrix pass per
+  /// evaluation, <= 10 active qubits, no trajectory sampling noise).
+  std::string engine = "trajectory";
+  /// Worker threads of the trajectory shot loop (0 = hardware concurrency).
+  /// Counts are bit-identical for every value.
+  std::size_t executor_threads = 0;
   /// Shots for the M3 readout-calibration programs.
   std::size_t calibration_shots = 4096;
   ModelConfig model;

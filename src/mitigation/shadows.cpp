@@ -34,7 +34,7 @@ ClassicalShadow ClassicalShadow::collect(const qc::Circuit& prep, std::size_t sn
         sv.apply_matrix(qc::gate_matrix(qc::GateKind::H), {q});
       }
     }
-    snap.bits = sv.sample(1, rng).begin()->first;
+    snap.bits = sv.sample_one(rng);
     out.snapshots_.push_back(std::move(snap));
   }
   return out;

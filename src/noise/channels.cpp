@@ -7,8 +7,8 @@
 
 namespace hgp::noise {
 
-void apply_depolarizing(sim::Statevector& sv, const std::vector<std::size_t>& qubits, double p,
-                        Rng& rng) {
+void apply_depolarizing(sim::QuantumState& state, const std::vector<std::size_t>& qubits,
+                        double p, Rng& rng) {
   HGP_REQUIRE(p >= 0.0 && p <= 1.0, "apply_depolarizing: bad probability");
   if (!rng.bernoulli(p)) return;
   // Uniform non-identity Pauli on the qubit set.
@@ -17,52 +17,45 @@ void apply_depolarizing(sim::Statevector& sv, const std::vector<std::size_t>& qu
   for (std::size_t i = 0; i < qubits.size(); ++i) {
     const int pauli = (pick >> (2 * i)) & 3;
     if (pauli == 0) continue;
-    sv.apply_matrix(la::pauli_matrix(static_cast<la::Pauli>(pauli)), {qubits[i]});
+    state.apply_matrix(la::pauli_matrix(static_cast<la::Pauli>(pauli)), {qubits[i]});
   }
 }
 
-void apply_amplitude_damping(sim::Statevector& sv, std::size_t q, double gamma, Rng& rng) {
+void apply_amplitude_damping(sim::QuantumState& state, std::size_t q, double gamma, Rng& rng) {
   HGP_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "apply_amplitude_damping: bad gamma");
   if (gamma == 0.0) return;
-  const double p1 = sv.prob_one(q);
+  const double p1 = state.prob_one(q);
   const double p_jump = gamma * p1;
   if (rng.bernoulli(p_jump)) {
     // K1 = sqrt(gamma)|0><1|: project onto |1>, then reset to |0>.
-    sv.collapse(q, true);
-    sv.apply_matrix(la::pauli_matrix(la::Pauli::X), {q});
+    state.collapse(q, true);
+    state.apply_matrix(la::pauli_matrix(la::Pauli::X), {q});
     return;
   }
-  // K0 = diag(1, sqrt(1-gamma)), then renormalize.
-  const std::uint64_t bit = std::uint64_t{1} << q;
-  const double damp = std::sqrt(1.0 - gamma);
-  double norm2 = 0.0;
-  for (std::uint64_t i = 0; i < sv.data().size(); ++i) {
-    if (i & bit) sv.data()[i] *= damp;
-    norm2 += std::norm(sv.data()[i]);
-  }
-  const double scale = 1.0 / std::sqrt(norm2);
-  for (auto& amp : sv.data()) amp *= scale;
+  // K0 = diag(1, sqrt(1-gamma)), renormalized.
+  const la::CMat k0{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+  state.apply_kraus_branch(k0, {q});
 }
 
-void apply_phase_flip(sim::Statevector& sv, std::size_t q, double p, Rng& rng) {
+void apply_phase_flip(sim::QuantumState& state, std::size_t q, double p, Rng& rng) {
   HGP_REQUIRE(p >= 0.0 && p <= 1.0, "apply_phase_flip: bad probability");
-  if (rng.bernoulli(p)) sv.apply_matrix(la::pauli_matrix(la::Pauli::Z), {q});
+  if (rng.bernoulli(p)) state.apply_matrix(la::pauli_matrix(la::Pauli::Z), {q});
 }
 
-void apply_thermal_relaxation(sim::Statevector& sv, std::size_t q, double t1_us, double t2_us,
-                              double duration_ns, Rng& rng) {
+void apply_thermal_relaxation(sim::QuantumState& state, std::size_t q, double t1_us,
+                              double t2_us, double duration_ns, Rng& rng) {
   if (duration_ns <= 0.0) return;
   HGP_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "apply_thermal_relaxation: bad T1/T2");
   const double t_us = duration_ns * 1e-3;
   const double gamma = 1.0 - std::exp(-t_us / t1_us);
-  apply_amplitude_damping(sv, q, gamma, rng);
+  apply_amplitude_damping(state, q, gamma, rng);
 
   // Pure dephasing rate; clamp T2 into the physical region.
   const double t2 = std::min(t2_us, 2.0 * t1_us);
   const double inv_tphi = 1.0 / t2 - 0.5 / t1_us;
   if (inv_tphi > 1e-12) {
     const double p_z = 0.5 * (1.0 - std::exp(-t_us * inv_tphi));
-    apply_phase_flip(sv, q, p_z, rng);
+    apply_phase_flip(state, q, p_z, rng);
   }
 }
 

@@ -4,31 +4,32 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "sim/statevector.hpp"
+#include "sim/state.hpp"
 
 namespace hgp::noise {
 
 /// Trajectory (quantum-jump) application of the standard error channels to a
-/// statevector: each call samples one Kraus branch with the exact branch
+/// quantum state: each call samples one Kraus branch with the exact branch
 /// probabilities, so averaging over shots reproduces the density-matrix
-/// channel.
+/// channel. The routines are written against `sim::QuantumState`, so they
+/// apply to any backend (statevector trajectories being the production use).
 
 /// Depolarizing with probability p on the listed qubits: with prob p, apply
 /// a uniformly random non-identity Pauli on those qubits.
-void apply_depolarizing(sim::Statevector& sv, const std::vector<std::size_t>& qubits, double p,
-                        Rng& rng);
+void apply_depolarizing(sim::QuantumState& state, const std::vector<std::size_t>& qubits,
+                        double p, Rng& rng);
 
 /// Amplitude damping with decay probability gamma on qubit q.
-void apply_amplitude_damping(sim::Statevector& sv, std::size_t q, double gamma, Rng& rng);
+void apply_amplitude_damping(sim::QuantumState& state, std::size_t q, double gamma, Rng& rng);
 
 /// Pure dephasing: phase flip (Z) with probability p.
-void apply_phase_flip(sim::Statevector& sv, std::size_t q, double p, Rng& rng);
+void apply_phase_flip(sim::QuantumState& state, std::size_t q, double p, Rng& rng);
 
 /// Combined T1/T2 thermal relaxation over duration_ns: amplitude damping with
 /// gamma = 1 - exp(-t/T1) plus pure dephasing at rate 1/Tphi = 1/T2 - 1/(2 T1)
 /// (Tphi clamped to the physical region T2 <= 2 T1).
-void apply_thermal_relaxation(sim::Statevector& sv, std::size_t q, double t1_us, double t2_us,
-                              double duration_ns, Rng& rng);
+void apply_thermal_relaxation(sim::QuantumState& state, std::size_t q, double t1_us,
+                              double t2_us, double duration_ns, Rng& rng);
 
 /// Asymmetric readout confusion of one qubit. Probabilities are
 /// P(measured 1 | prepared 0) and P(measured 0 | prepared 1).

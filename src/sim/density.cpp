@@ -12,8 +12,17 @@ using la::CMat;
 DensityMatrix::DensityMatrix(std::size_t num_qubits)
     : num_qubits_(num_qubits),
       rho_(std::size_t{1} << num_qubits, std::size_t{1} << num_qubits) {
-  HGP_REQUIRE(num_qubits <= 8, "DensityMatrix: too many qubits for a dense matrix");
+  HGP_REQUIRE(num_qubits <= 10, "DensityMatrix: too many qubits for a dense matrix");
   rho_(0, 0) = 1.0;
+}
+
+void DensityMatrix::reset() {
+  rho_ = CMat(rho_.rows(), rho_.cols());
+  rho_(0, 0) = 1.0;
+}
+
+std::unique_ptr<QuantumState> DensityMatrix::clone() const {
+  return std::make_unique<DensityMatrix>(*this);
 }
 
 DensityMatrix DensityMatrix::from_amplitudes(const la::CVec& amplitudes) {
@@ -54,9 +63,13 @@ CMat DensityMatrix::lift(const CMat& op, const std::vector<std::size_t>& qubits)
   return full;
 }
 
-void DensityMatrix::apply_unitary(const CMat& u, const std::vector<std::size_t>& qubits) {
+void DensityMatrix::apply_matrix(const CMat& u, const std::vector<std::size_t>& qubits) {
   const CMat full = lift(u, qubits);
   rho_ = full * rho_ * full.dagger();
+}
+
+void DensityMatrix::apply_unitary(const CMat& u, const std::vector<std::size_t>& qubits) {
+  apply_matrix(u, qubits);
 }
 
 void DensityMatrix::apply_kraus(const std::vector<CMat>& kraus,
@@ -69,19 +82,6 @@ void DensityMatrix::apply_kraus(const std::vector<CMat>& kraus,
     out += full * rho_ * full.dagger();
   }
   rho_ = std::move(out);
-}
-
-void DensityMatrix::apply_op(const qc::Op& op) {
-  if (op.kind == qc::GateKind::Barrier || op.kind == qc::GateKind::I ||
-      op.kind == qc::GateKind::Delay)
-    return;
-  HGP_REQUIRE(op.kind != qc::GateKind::Measure, "DensityMatrix: measure not supported here");
-  apply_unitary(qc::gate_matrix(op.kind, op.constant_params()), op.qubits);
-}
-
-void DensityMatrix::run(const qc::Circuit& circuit) {
-  HGP_REQUIRE(circuit.num_qubits() == num_qubits_, "DensityMatrix::run: width mismatch");
-  for (const qc::Op& op : circuit.ops()) apply_op(op);
 }
 
 void DensityMatrix::apply_depolarizing(const std::vector<std::size_t>& qubits, double p) {
@@ -146,6 +146,35 @@ double DensityMatrix::expectation(const la::PauliSum& obs) const {
     total += term.coeff * tr.real();
   }
   return total;
+}
+
+double DensityMatrix::prob_one(std::size_t q) const {
+  HGP_REQUIRE(q < num_qubits_, "prob_one: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  double p = 0.0;
+  for (std::uint64_t i = 0; i < rho_.rows(); ++i)
+    if (i & bit) p += rho_(i, i).real();
+  return p;
+}
+
+double DensityMatrix::collapse(std::size_t q, bool outcome) {
+  const double p1 = prob_one(q);
+  const double p = outcome ? p1 : 1.0 - p1;
+  HGP_REQUIRE(p > 1e-15, "collapse: outcome has (near-)zero probability");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t r = 0; r < rho_.rows(); ++r)
+    for (std::uint64_t c = 0; c < rho_.cols(); ++c) {
+      const bool keep = (((r & bit) != 0) == outcome) && (((c & bit) != 0) == outcome);
+      rho_(r, c) = keep ? rho_(r, c) / p : cxd{0.0, 0.0};
+    }
+  return p;
+}
+
+void DensityMatrix::normalize() {
+  const double tr = trace();
+  HGP_REQUIRE(tr > 1e-300, "normalize: zero-trace state");
+  for (std::uint64_t r = 0; r < rho_.rows(); ++r)
+    for (std::uint64_t c = 0; c < rho_.cols(); ++c) rho_(r, c) /= tr;
 }
 
 double DensityMatrix::trace() const { return rho_.trace().real(); }

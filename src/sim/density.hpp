@@ -5,28 +5,36 @@
 #include "circuit/circuit.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/pauli.hpp"
+#include "sim/state.hpp"
 
 namespace hgp::sim {
 
-/// Dense density-matrix simulator (small qubit counts). The trajectory
-/// sampler in `noise/` is the production path; this class is the exact
-/// reference the trajectory statistics are verified against, and the tool
-/// for purity/entropy analyses in the examples.
-class DensityMatrix {
+/// Dense density-matrix simulator (small qubit counts). As a `QuantumState`
+/// backend it powers the executor's exact-density engine: noise channels
+/// apply as Kraus maps in a single pass, so no trajectory shot loop is
+/// needed. It is also the exact reference the trajectory statistics are
+/// verified against, and the tool for purity/entropy analyses.
+class DensityMatrix final : public QuantumState {
  public:
   explicit DensityMatrix(std::size_t num_qubits);
   static DensityMatrix from_amplitudes(const la::CVec& amplitudes);
 
-  std::size_t num_qubits() const { return num_qubits_; }
+  StateKind kind() const override { return StateKind::Density; }
+  std::size_t num_qubits() const override { return num_qubits_; }
   const la::CMat& data() const { return rho_; }
 
-  /// rho -> U rho U† with U acting on the listed qubits (first = LSB).
+  void reset() override;
+  std::unique_ptr<QuantumState> clone() const override;
+
+  /// rho -> A rho A† with A acting on the listed qubits (first = LSB). For a
+  /// non-unitary A (Kraus branch) the result is un-normalized; pair with
+  /// normalize().
+  void apply_matrix(const la::CMat& u, const std::vector<std::size_t>& qubits) override;
+  /// Alias of apply_matrix kept for the exact-channel call sites.
   void apply_unitary(const la::CMat& u, const std::vector<std::size_t>& qubits);
   /// rho -> Σ_k K_k rho K_k† (Kraus maps on the listed qubits).
   void apply_kraus(const std::vector<la::CMat>& kraus,
                    const std::vector<std::size_t>& qubits);
-  void apply_op(const qc::Op& op);
-  void run(const qc::Circuit& circuit);
 
   // ----- standard channels (exact, non-stochastic) -----
   void apply_depolarizing(const std::vector<std::size_t>& qubits, double p);
@@ -35,8 +43,14 @@ class DensityMatrix {
   void apply_thermal_relaxation(std::size_t q, double t1_us, double t2_us,
                                 double duration_ns);
 
-  std::vector<double> probabilities() const;
-  double expectation(const la::PauliSum& obs) const;
+  std::vector<double> probabilities() const override;
+  double prob_one(std::size_t q) const override;
+  double expectation(const la::PauliSum& obs) const override;
+  /// Project qubit q onto `outcome`, renormalize rho; returns the outcome's
+  /// pre-measurement probability.
+  double collapse(std::size_t q, bool outcome) override;
+  /// Rescale to unit trace after a non-unitary apply_matrix.
+  void normalize() override;
   /// Tr(rho) — 1 for any CPTP evolution.
   double trace() const;
   /// Tr(rho²) — 1 for pure states, 1/2^n for the maximally mixed state.

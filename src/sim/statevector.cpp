@@ -11,12 +11,30 @@ using la::cxd;
 using la::CMat;
 using la::CVec;
 
-std::string bits_to_string(std::uint64_t bits, std::size_t num_qubits) {
-  std::string s(num_qubits, '0');
-  for (std::size_t q = 0; q < num_qubits; ++q)
-    if ((bits >> q) & 1) s[num_qubits - 1 - q] = '1';
-  return s;
+namespace {
+
+inline bool is_zero(const cxd& x) { return x.real() == 0.0 && x.imag() == 0.0; }
+
+/// Iterate f(i) over all basis indices with bit `b` clear — nested block
+/// iteration touches exactly size/2 indices instead of a skip-test over all.
+template <typename F>
+inline void for_each_pair_base(std::uint64_t size, std::uint64_t b, F&& f) {
+  for (std::uint64_t base = 0; base < size; base += 2 * b)
+    for (std::uint64_t i = base; i < base + b; ++i) f(i);
 }
+
+/// Iterate f(i) over all basis indices with both bits clear (size/4 visits).
+template <typename F>
+inline void for_each_quad_base(std::uint64_t size, std::uint64_t b0, std::uint64_t b1,
+                               F&& f) {
+  const std::uint64_t blo = std::min(b0, b1);
+  const std::uint64_t bhi = std::max(b0, b1);
+  for (std::uint64_t outer = 0; outer < size; outer += 2 * bhi)
+    for (std::uint64_t mid = outer; mid < outer + bhi; mid += 2 * blo)
+      for (std::uint64_t i = mid; i < mid + blo; ++i) f(i);
+}
+
+}  // namespace
 
 Statevector::Statevector(std::size_t num_qubits)
     : num_qubits_(num_qubits), amp_(std::size_t{1} << num_qubits, cxd{0.0, 0.0}) {
@@ -39,6 +57,10 @@ void Statevector::reset() {
   amp_[0] = 1.0;
 }
 
+std::unique_ptr<QuantumState> Statevector::clone() const {
+  return std::make_unique<Statevector>(*this);
+}
+
 void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qubits) {
   const std::size_t k = qubits.size();
   HGP_REQUIRE(u.rows() == (std::size_t{1} << k) && u.cols() == u.rows(),
@@ -46,30 +68,97 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
   for (std::size_t q : qubits) HGP_REQUIRE(q < num_qubits_, "apply_matrix: qubit out of range");
 
   if (k == 1) {
-    const std::size_t q = qubits[0];
-    const std::uint64_t bit = std::uint64_t{1} << q;
+    const std::uint64_t bit = std::uint64_t{1} << qubits[0];
     const cxd u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
-      if (i & bit) continue;
+    if (is_zero(u01) && is_zero(u10)) {
+      // Diagonal (RZ/Z/S/T/P and fused virtual-RZ blocks): pure per-amplitude
+      // phases, no pairing pass.
+      for (std::uint64_t i = 0; i < amp_.size(); ++i)
+        amp_[i] *= (i & bit) ? u11 : u00;
+      return;
+    }
+    if (is_zero(u00) && is_zero(u11)) {
+      // Anti-diagonal (X/Y-like): a paired swap with phases.
+      for_each_pair_base(amp_.size(), bit, [&](std::uint64_t i) {
+        const cxd a0 = amp_[i];
+        amp_[i] = u01 * amp_[i | bit];
+        amp_[i | bit] = u10 * a0;
+      });
+      return;
+    }
+    for_each_pair_base(amp_.size(), bit, [&](std::uint64_t i) {
       const cxd a0 = amp_[i];
       const cxd a1 = amp_[i | bit];
       amp_[i] = u00 * a0 + u01 * a1;
       amp_[i | bit] = u10 * a0 + u11 * a1;
-    }
+    });
     return;
   }
   if (k == 2) {
     const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
     const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
-    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
-      if ((i & b0) || (i & b1)) continue;
+
+    bool diagonal = true;
+    for (std::size_t r = 0; r < 4 && diagonal; ++r)
+      for (std::size_t c = 0; c < 4; ++c)
+        if (r != c && !is_zero(u(r, c))) {
+          diagonal = false;
+          break;
+        }
+    if (diagonal) {
+      // Diagonal (RZZ/CZ/CPhase): one phase multiply per amplitude.
+      const cxd d[4] = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
+      for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+        const std::size_t sub = ((i & b0) ? 1u : 0u) | ((i & b1) ? 2u : 0u);
+        amp_[i] *= d[sub];
+      }
+      return;
+    }
+
+    // Generalized permutation (CX/SWAP/X⊗X...): exactly one non-zero per
+    // column, all target rows distinct — a gather/scatter with phases
+    // instead of a dense 4x4 product. (A non-unitary operator repeating a
+    // target row must fall through to the dense path.)
+    std::size_t perm[4];
+    cxd phase[4];
+    bool row_used[4] = {false, false, false, false};
+    bool permutation = true;
+    for (std::size_t c = 0; c < 4 && permutation; ++c) {
+      std::size_t nonzero = 0, row = 0;
+      for (std::size_t r = 0; r < 4; ++r)
+        if (!is_zero(u(r, c))) {
+          ++nonzero;
+          row = r;
+        }
+      if (nonzero != 1 || row_used[row]) {
+        permutation = false;
+        break;
+      }
+      row_used[row] = true;
+      perm[c] = row;
+      phase[c] = u(row, c);
+    }
+    if (permutation) {
+      const std::uint64_t sub_bit[2] = {b0, b1};
+      std::uint64_t offset[4];
+      for (std::size_t s = 0; s < 4; ++s)
+        offset[s] = ((s & 1) ? sub_bit[0] : 0) | ((s & 2) ? sub_bit[1] : 0);
+      for_each_quad_base(amp_.size(), b0, b1, [&](std::uint64_t i) {
+        cxd a[4];
+        for (std::size_t s = 0; s < 4; ++s) a[s] = amp_[i | offset[s]];
+        for (std::size_t s = 0; s < 4; ++s) amp_[i | offset[perm[s]]] = phase[s] * a[s];
+      });
+      return;
+    }
+
+    for_each_quad_base(amp_.size(), b0, b1, [&](std::uint64_t i) {
       const std::uint64_t i0 = i, i1 = i | b0, i2 = i | b1, i3 = i | b0 | b1;
       const cxd a0 = amp_[i0], a1 = amp_[i1], a2 = amp_[i2], a3 = amp_[i3];
       amp_[i0] = u(0, 0) * a0 + u(0, 1) * a1 + u(0, 2) * a2 + u(0, 3) * a3;
       amp_[i1] = u(1, 0) * a0 + u(1, 1) * a1 + u(1, 2) * a2 + u(1, 3) * a3;
       amp_[i2] = u(2, 0) * a0 + u(2, 1) * a1 + u(2, 2) * a2 + u(2, 3) * a3;
       amp_[i3] = u(3, 0) * a0 + u(3, 1) * a1 + u(3, 2) * a2 + u(3, 3) * a3;
-    }
+    });
     return;
   }
 
@@ -100,42 +189,23 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
   }
 }
 
-void Statevector::apply_op(const qc::Op& op) {
-  if (op.kind == qc::GateKind::Barrier || op.kind == qc::GateKind::I ||
-      op.kind == qc::GateKind::Delay)
-    return;
-  HGP_REQUIRE(op.kind != qc::GateKind::Measure,
-              "Statevector::apply_op: use sample() for measurement");
-  apply_matrix(qc::gate_matrix(op.kind, op.constant_params()), op.qubits);
-}
-
-void Statevector::run(const qc::Circuit& circuit) {
-  HGP_REQUIRE(circuit.num_qubits() == num_qubits_, "Statevector::run: width mismatch");
-  for (const qc::Op& op : circuit.ops()) apply_op(op);
-}
-
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(amp_.size());
   for (std::size_t i = 0; i < amp_.size(); ++i) p[i] = std::norm(amp_[i]);
   return p;
 }
 
-Counts Statevector::sample(std::size_t shots, Rng& rng) const {
-  // Inverse-CDF sampling over the cumulative distribution.
-  std::vector<double> cdf(amp_.size());
+std::uint64_t Statevector::sample_one(Rng& rng) const {
+  // One shot: a single accumulate-and-compare pass, no CDF materialization.
+  // The state is unit-norm (trajectory branches renormalize), so the draw is
+  // against 1 with a fall-through to the last amplitude for rounding slack.
+  const double x = rng.uniform();
   double acc = 0.0;
-  for (std::size_t i = 0; i < amp_.size(); ++i) {
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
     acc += std::norm(amp_[i]);
-    cdf[i] = acc;
+    if (x < acc) return i;
   }
-  Counts counts;
-  for (std::size_t s = 0; s < shots; ++s) {
-    const double x = rng.uniform() * acc;
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
-    const auto idx = static_cast<std::uint64_t>(it - cdf.begin());
-    ++counts[std::min<std::uint64_t>(idx, amp_.size() - 1)];
-  }
-  return counts;
+  return amp_.size() - 1;
 }
 
 double Statevector::expectation(const la::PauliSum& obs) const {
@@ -166,6 +236,34 @@ double Statevector::collapse(std::size_t q, bool outcome) {
       amp_[i] = cxd{0.0, 0.0};
   }
   return p;
+}
+
+void Statevector::normalize() {
+  double norm2 = 0.0;
+  for (const cxd& a : amp_) norm2 += std::norm(a);
+  HGP_REQUIRE(norm2 > 1e-300, "normalize: zero state");
+  const double scale = 1.0 / std::sqrt(norm2);
+  for (cxd& a : amp_) a *= scale;
+}
+
+void Statevector::apply_kraus_branch(const CMat& k,
+                                     const std::vector<std::size_t>& qubits) {
+  // Single-qubit diagonal Kraus branch (the amplitude-damping no-jump
+  // operator): fuse the damp and the norm accumulation into one pass.
+  if (qubits.size() == 1 && is_zero(k(0, 1)) && is_zero(k(1, 0))) {
+    const std::uint64_t bit = std::uint64_t{1} << qubits[0];
+    const cxd k0 = k(0, 0), k1 = k(1, 1);
+    double norm2 = 0.0;
+    for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+      amp_[i] *= (i & bit) ? k1 : k0;
+      norm2 += std::norm(amp_[i]);
+    }
+    HGP_REQUIRE(norm2 > 1e-300, "apply_kraus_branch: branch has zero weight");
+    const double scale = 1.0 / std::sqrt(norm2);
+    for (cxd& a : amp_) a *= scale;
+    return;
+  }
+  QuantumState::apply_kraus_branch(k, qubits);
 }
 
 }  // namespace hgp::sim

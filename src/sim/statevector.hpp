@@ -1,57 +1,50 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/pauli.hpp"
 #include "linalg/types.hpp"
+#include "sim/state.hpp"
 
 namespace hgp::sim {
 
-/// Measurement counts keyed by the basis-state bitmask (bit q = outcome of
-/// qubit q). Ordered map so printouts are deterministic.
-using Counts = std::map<std::uint64_t, std::size_t>;
-
-/// Render a bitmask as the conventional big-endian bitstring ("q_{n-1}..q_0").
-std::string bits_to_string(std::uint64_t bits, std::size_t num_qubits);
-
 /// Exact statevector of an n-qubit register with in-place gate application.
-/// Little-endian: qubit q is bit q of the basis index.
-class Statevector {
+/// Little-endian: qubit q is bit q of the basis index. Structured 1q/2q
+/// operators (diagonal, anti-diagonal/X-like, permutation) are detected at
+/// apply time and dispatched to specialized kernels that skip the dense
+/// matrix product.
+class Statevector final : public QuantumState {
  public:
   explicit Statevector(std::size_t num_qubits);
   static Statevector from_amplitudes(la::CVec amplitudes);
 
-  std::size_t num_qubits() const { return num_qubits_; }
+  StateKind kind() const override { return StateKind::Statevector; }
+  std::size_t num_qubits() const override { return num_qubits_; }
   const la::CVec& data() const { return amp_; }
   la::CVec& data() { return amp_; }
 
-  void reset();
+  void reset() override;
+  std::unique_ptr<QuantumState> clone() const override;
 
-  /// Apply a dense k-qubit unitary to the listed qubits (first listed qubit
-  /// = least significant sub-index bit). Optimized paths for k = 1, 2.
-  void apply_matrix(const la::CMat& u, const std::vector<std::size_t>& qubits);
-  /// Apply one circuit op (must be bound; Barrier is a no-op; Measure is
-  /// rejected — use sample()).
-  void apply_op(const qc::Op& op);
-  /// Run a whole bound circuit.
-  void run(const qc::Circuit& circuit);
+  /// Apply a dense k-qubit operator to the listed qubits (first listed qubit
+  /// = least significant sub-index bit). Optimized paths for k = 1, 2 plus
+  /// structure-specialized kernels (diagonal / permutation).
+  void apply_matrix(const la::CMat& u, const std::vector<std::size_t>& qubits) override;
 
-  /// Probability of each basis state.
-  std::vector<double> probabilities() const;
-  /// Sample `shots` measurement outcomes of all qubits.
-  Counts sample(std::size_t shots, Rng& rng) const;
-  /// Expectation of a Pauli-sum observable.
-  double expectation(const la::PauliSum& obs) const;
-  /// Probability that qubit q reads 1.
-  double prob_one(std::size_t q) const;
+  std::vector<double> probabilities() const override;
+  std::uint64_t sample_one(Rng& rng) const override;
+  double expectation(const la::PauliSum& obs) const override;
+  double prob_one(std::size_t q) const override;
   /// Project qubit q onto `outcome` and renormalize; returns the outcome's
   /// pre-measurement probability. Used by trajectory noise (amplitude
   /// damping branches).
-  double collapse(std::size_t q, bool outcome);
+  double collapse(std::size_t q, bool outcome) override;
+  void normalize() override;
+  void apply_kraus_branch(const la::CMat& k,
+                          const std::vector<std::size_t>& qubits) override;
 
  private:
   std::size_t num_qubits_ = 0;

@@ -1,0 +1,190 @@
+// The executor's two noise engines: deterministic threaded trajectory
+// sampling and the exact density-matrix pass, plus their statistical
+// agreement and the virtual-RZ folding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend/presets.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "sim/state.hpp"
+
+using namespace hgp;
+using core::Engine;
+using core::ExecOp;
+using core::Executor;
+using core::ExecutorOptions;
+using core::Program;
+
+namespace {
+
+const backend::FakeBackend& toronto() {
+  static const backend::FakeBackend dev = backend::make_toronto();
+  return dev;
+}
+
+/// H (native basis) on `q`.
+void push_h(Program& prog, std::size_t q) {
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {q}, {qc::Param::constant(la::kPi / 2)}}));
+  prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::SX, {q}, {}}));
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {q}, {qc::Param::constant(la::kPi / 2)}}));
+}
+
+Program bell_program() {
+  Program prog;
+  push_h(prog, 0);
+  prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::CX, {0, 1}, {}}));
+  prog.measure_qubits = {0, 1};
+  return prog;
+}
+
+double total_shots(const sim::Counts& counts) {
+  double t = 0.0;
+  for (const auto& [bits, n] : counts) t += static_cast<double>(n);
+  return t;
+}
+
+}  // namespace
+
+TEST(EngineNames, RoundTrip) {
+  EXPECT_EQ(core::engine_from_name("trajectory"), Engine::Trajectory);
+  EXPECT_EQ(core::engine_from_name("density"), Engine::ExactDensity);
+  EXPECT_THROW(core::engine_from_name("mps"), Error);
+  EXPECT_EQ(core::engine_name(Engine::ExactDensity), "density");
+}
+
+TEST(ThreadedTrajectories, BitIdenticalAcrossThreadCounts) {
+  const Program prog = bell_program();
+  sim::Counts reference;
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ExecutorOptions opts;
+    opts.num_threads = threads;
+    Executor ex(toronto(), opts);
+    Rng rng(99);
+    const sim::Counts counts = ex.run(prog, 1500, rng);  // spans several batches
+    EXPECT_NEAR(total_shots(counts), 1500.0, 0.0);
+    if (threads == 1)
+      reference = counts;
+    else
+      EXPECT_EQ(counts, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadedTrajectories, CallerRngAdvanceIsShotIndependent) {
+  // The parallel engine draws exactly one value from the caller's Rng, so
+  // downstream consumers see the same stream no matter the shot count.
+  const Program prog = bell_program();
+  Executor ex(toronto());
+  Rng r1(3), r2(3);
+  ex.run(prog, 100, r1);
+  ex.run(prog, 2000, r2);
+  EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(ExactDensity, MatchesTrajectoryStatistics) {
+  // Same noisy Bell program through both engines: the trajectory frequencies
+  // must converge to the exact density-matrix distribution.
+  const Program prog = bell_program();
+
+  ExecutorOptions dopts;
+  dopts.engine = Engine::ExactDensity;
+  Executor exact(toronto(), dopts);
+  Rng drng(11);
+  const std::size_t shots = 40000;
+  const sim::Counts dc = exact.run(prog, shots, drng);
+
+  Executor traj(toronto());
+  Rng trng(13);
+  const sim::Counts tc = traj.run(prog, shots, trng);
+
+  for (std::uint64_t bits = 0; bits < 4; ++bits) {
+    const double fd = dc.count(bits) ? dc.at(bits) / double(shots) : 0.0;
+    const double ft = tc.count(bits) ? tc.at(bits) / double(shots) : 0.0;
+    EXPECT_NEAR(fd, ft, 0.015) << "bits=" << bits;
+  }
+}
+
+TEST(ExactDensity, NoiseVisibleAndDeterministicGivenSeed) {
+  const Program prog = bell_program();
+  ExecutorOptions opts;
+  opts.engine = Engine::ExactDensity;
+  Executor ex(toronto(), opts);
+  Rng r1(21), r2(21);
+  const sim::Counts a = ex.run(prog, 4000, r1);
+  const sim::Counts b = ex.run(prog, 4000, r2);
+  EXPECT_EQ(a, b);
+  // Noise leaks probability out of the Bell pair.
+  const double good = (a.count(0b00) ? a.at(0b00) : 0) + (a.count(0b11) ? a.at(0b11) : 0);
+  EXPECT_LT(good / 4000.0, 0.999);
+  EXPECT_GT(good / 4000.0, 0.80);
+}
+
+TEST(ExactDensity, RejectsLargeRegisters) {
+  Program prog;
+  // 12 active qubits exceed the density engine's dense-rho budget.
+  for (std::size_t q : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u})
+    prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::SX, {q}, {}}));
+  prog.measure_qubits = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  ExecutorOptions opts;
+  opts.engine = Engine::ExactDensity;
+  Executor ex(toronto(), opts);
+  Rng rng(1);
+  EXPECT_THROW(ex.run(prog, 16, rng), Error);
+}
+
+TEST(VirtualFolding, FoldedRzRunMatchesSingleRz) {
+  // RZ(a) RZ(b) ... folded into one diagonal block must act exactly like
+  // RZ(a+b): compare deterministic noiseless sampling under a shared seed.
+  ExecutorOptions noiseless;
+  noiseless.noise = false;
+  noiseless.readout_error = false;
+  noiseless.coherent_noise = false;
+
+  auto ramsey = [&](std::vector<double> angles) {
+    Program prog;
+    push_h(prog, 0);
+    for (double a : angles)
+      prog.ops.push_back(
+          ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {0}, {qc::Param::constant(a)}}));
+    push_h(prog, 0);
+    prog.measure_qubits = {0};
+    Executor ex(toronto(), noiseless);
+    Rng rng(31);
+    return ex.run(prog, 2000, rng);
+  };
+
+  const sim::Counts split = ramsey({0.3, 0.5, 0.4});
+  const sim::Counts merged = ramsey({1.2});
+  EXPECT_EQ(split, merged);
+}
+
+TEST(VirtualFolding, ReportCountsFoldedBlocksOnce) {
+  Program prog;
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {0}, {qc::Param::constant(0.2)}}));
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {0}, {qc::Param::constant(0.3)}}));
+  prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::SX, {0}, {}}));
+  prog.measure_qubits = {0};
+  ExecutorOptions noiseless;
+  noiseless.noise = false;
+  noiseless.readout_error = false;
+  noiseless.coherent_noise = false;
+  Executor ex(toronto(), noiseless);
+  Rng rng(1);
+  ex.run(prog, 10, rng);
+  EXPECT_EQ(ex.last_report().block_count, 2u);  // fused RZ + SX
+}
+
+TEST(RngChild, StreamsAreDeterministicAndDecorrelated) {
+  Rng a = Rng::child(123, 0);
+  Rng b = Rng::child(123, 0);
+  Rng c = Rng::child(123, 1);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  for (int i = 0; i < 4; ++i) differs |= (a.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
