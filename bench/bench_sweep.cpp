@@ -1,0 +1,107 @@
+// Throughput of the serve layer on a Table II-style grid: the same 3-config
+// sweep runs once sequentially (plain run_qaoa per cell, private caches) and
+// once through a SweepRunner pool sharing one compiled-block cache. Reports
+// wall-clock speedup, verifies the results are bit-identical, and emits a
+// BENCH_sweep.json baseline with the cache hit rate across optimizer
+// iterations.
+//
+//   bench_sweep [workers]            (default 4)
+//   HGP_SHOTS / HGP_EVALS            scale the per-run budget (smoke mode)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "serve/sweep.hpp"
+
+using namespace hgp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool same_result(const core::RunResult& a, const core::RunResult& b) {
+  return a.ar == b.ar && a.final_cost == b.final_cost &&
+         a.optimizer.value == b.optimizer.value && a.optimizer.x == b.optimizer.x &&
+         a.optimizer.history == b.optimizer.history;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t workers = argc > 1 ? std::stoul(argv[1]) : 4;
+
+  const backend::FakeBackend dev = backend::make_toronto();
+  core::RunConfig base = benchutil::base_config();
+  base.executor_threads = 1;  // parallelism comes from the sweep pool here
+
+  std::vector<serve::SweepJob> jobs;
+  core::RunConfig cobyla = base;
+  jobs.push_back({"task1/gate/cobyla", graph::paper_task1(), &dev,
+                  core::ModelKind::GateLevel, cobyla});
+  core::RunConfig spsa = base;
+  spsa.optimizer = "spsa";
+  jobs.push_back({"task1/hybrid/spsa", graph::paper_task1(), &dev,
+                  core::ModelKind::Hybrid, spsa});
+  core::RunConfig nm = base;
+  nm.optimizer = "neldermead";
+  jobs.push_back({"task2/gate/neldermead", graph::paper_task2(), &dev,
+                  core::ModelKind::GateLevel, nm});
+
+  benchutil::header("serve::SweepRunner — batched evaluation service throughput");
+  std::printf("%zu configs, %zu workers, %zu shots, %d evals per run\n\n", jobs.size(),
+              workers, base.shots, base.max_evaluations);
+
+  // Sequential baseline: one run at a time, no shared service.
+  const auto t_seq = std::chrono::steady_clock::now();
+  std::vector<core::RunResult> sequential;
+  for (const serve::SweepJob& job : jobs)
+    sequential.push_back(core::run_qaoa(job.instance, *job.dev, job.kind, job.config));
+  const double seq_s = seconds_since(t_seq);
+
+  // The service: shared pool + shared compiled-block cache.
+  serve::SweepRunner runner(serve::SweepRunner::Options{workers, 8192});
+  const auto t_par = std::chrono::steady_clock::now();
+  const std::vector<core::RunResult> parallel = runner.run_all(jobs);
+  const double par_s = seconds_since(t_par);
+
+  bool identical = parallel.size() == sequential.size();
+  for (std::size_t i = 0; identical && i < jobs.size(); ++i)
+    identical = same_result(parallel[i], sequential[i]);
+
+  const serve::BlockCache::Stats cache = runner.cache_stats();
+  const double speedup = par_s > 0.0 ? seq_s / par_s : 0.0;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    std::printf("  %-24s AR %.1f%%  (%d evals)\n", jobs[i].label.c_str(),
+                100.0 * parallel[i].ar, parallel[i].optimizer.evaluations);
+  std::printf("\nsequential %.3f s | sweep %.3f s | speedup %.2fx | bit-identical: %s\n",
+              seq_s, par_s, speedup, identical ? "yes" : "NO");
+  std::printf("block cache: %llu hits / %llu misses (hit rate %.1f%%), %llu evictions\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), 100.0 * cache.hit_rate(),
+              static_cast<unsigned long long>(cache.evictions));
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n"
+       << "  \"bench\": \"sweep\",\n"
+       << "  \"configs\": " << jobs.size() << ",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"shots\": " << base.shots << ",\n"
+       << "  \"evals\": " << base.max_evaluations << ",\n"
+       << "  \"sequential_s\": " << seq_s << ",\n"
+       << "  \"sweep_s\": " << par_s << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"cache\": {\"hits\": " << cache.hits << ", \"misses\": " << cache.misses
+       << ", \"evictions\": " << cache.evictions << ", \"hit_rate\": " << cache.hit_rate()
+       << "}\n"
+       << "}\n";
+  std::printf("wrote BENCH_sweep.json\n");
+  return identical ? 0 : 1;
+}

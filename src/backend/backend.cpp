@@ -68,6 +68,73 @@ FakeBackend::FakeBackend(BackendInfo info, CouplingMap coupling, std::uint64_t s
   }
 }
 
+namespace {
+
+/// FNV-1a accumulator; doubles are hashed by bit pattern (calibrations are
+/// exact stored values, not recomputed, so bitwise identity is the right
+/// equality).
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void add(double v) { bytes(&v, sizeof v); }
+  void add(std::uint64_t v) { bytes(&v, sizeof v); }
+  void add(int v) { bytes(&v, sizeof v); }
+  void add(const std::string& s) { bytes(s.data(), s.size()); }
+};
+
+}  // namespace
+
+std::uint64_t FakeBackend::fingerprint() const {
+  Fnv f;
+  f.add(info_.name);
+  f.add(static_cast<std::uint64_t>(info_.num_qubits));
+  for (std::size_t q = 0; q < info_.num_qubits; ++q) {
+    const pulse::QubitCalibration& qc = cal_.qubit(q);
+    f.add(qc.drive_rate_ghz);
+    f.add(qc.sx_duration);
+    f.add(qc.sx_sigma);
+    f.add(qc.drag_beta);
+    f.add(qc.readout_duration);
+    const noise::QubitNoise& qn = noise_.qubits[q];
+    f.add(qn.freq_drift_ghz);
+    f.add(qn.drive_gain);
+  }
+  for (const auto& [a, b] : coupling_.edges()) {
+    for (const auto& [c, t] : {std::pair{a, b}, std::pair{b, a}}) {
+      if (!cal_.has_cr(c, t)) continue;
+      f.add(static_cast<std::uint64_t>(c));
+      f.add(static_cast<std::uint64_t>(t));
+      const pulse::CrCalibration& cr = cal_.cr(c, t);
+      f.add(cr.mu_zx_ghz);
+      f.add(cr.mu_ix_ghz);
+      f.add(cr.mu_zi_ghz);
+      f.add(cr.cr_duration);
+      f.add(cr.cr_sigma);
+      f.add(cr.cr_width);
+    }
+  }
+  for (const auto& [pair, zeta] : zz_) {
+    f.add(static_cast<std::uint64_t>(pair.first));
+    f.add(static_cast<std::uint64_t>(pair.second));
+    f.add(zeta);
+  }
+  for (const auto& [pair, err] : cx_phase_err_) {
+    f.add(static_cast<std::uint64_t>(pair.first));
+    f.add(static_cast<std::uint64_t>(pair.second));
+    f.add(err.first);
+    f.add(err.second);
+  }
+  f.add(noise_.zz_crosstalk_ghz);
+  return f.h;
+}
+
 std::pair<double, double> FakeBackend::cx_phase_error(std::size_t control,
                                                       std::size_t target) const {
   const auto it = cx_phase_err_.find({control, target});

@@ -47,6 +47,14 @@ class FakeBackend {
   /// imperfect, leaving a static RZ(first)⊗RZ(second) defect per gate.
   std::pair<double, double> cx_phase_error(std::size_t control, std::size_t target) const;
 
+  /// Content hash over everything a compiled block unitary depends on:
+  /// identity, topology, pulse calibrations, and the coherent
+  /// miscalibrations (drift, gains, ZZ, CX phase defects). Two backends with
+  /// equal fingerprints compile identical blocks, so the shared
+  /// serve::BlockCache keys on it; recalibrating (or mutating the noise
+  /// model) changes the fingerprint and invalidates stale entries.
+  std::uint64_t fingerprint() const;
+
   /// Duration of one gate in dt samples, from the lowered schedule (virtual
   /// RZ and barriers are free).
   int gate_duration_dt(const qc::Op& op) const;

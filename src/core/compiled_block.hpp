@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgp::core {
+
+/// One program step compiled down to its simulated unitary plus the noise
+/// bookkeeping the engines charge against it. Blocks are deterministic
+/// functions of (device calibrations, compile options, structure key), which
+/// is what makes them shareable across executors, optimizer candidates, and
+/// concurrent runs through serve::BlockCache.
+struct CompiledBlock {
+  la::CMat unitary;                  // local to `qubits`
+  std::vector<std::size_t> qubits;   // physical
+  int duration_dt = 0;
+  std::size_t drive_plays = 0;       // 1q depolarizing charges
+  std::size_t cr_halves = 0;         // 2q depolarizing charges
+  bool virtual_only = false;         // exact & free (RZ etc.)
+  bool explicit_idle = false;        // Delay: relaxation + coherent drift
+};
+
+}  // namespace hgp::core

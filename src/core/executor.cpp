@@ -5,6 +5,7 @@
 #include <cmath>
 #include <exception>
 #include <iomanip>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -180,7 +181,11 @@ const std::string& engine_name(Engine engine) {
 }
 
 Executor::Executor(const backend::FakeBackend& dev, ExecutorOptions options)
-    : dev_(dev), options_(options) {}
+    : dev_(dev), options_(std::move(options)) {
+  cache_ = options_.block_cache
+               ? options_.block_cache
+               : std::make_shared<serve::BlockCache>(options_.block_cache_capacity);
+}
 
 CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
                               const std::vector<std::size_t>& qubits) const {
@@ -208,7 +213,7 @@ CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
   return u;
 }
 
-Executor::CompiledBlock Executor::compile_gate(const qc::Op& op) {
+CompiledBlock Executor::compile_gate(const qc::Op& op) {
   CompiledBlock block;
   block.qubits = op.qubits;
 
@@ -261,8 +266,8 @@ Executor::CompiledBlock Executor::compile_gate(const qc::Op& op) {
   // re-calibrated schedule at the same angle but a different stretch).
   key << ",dur=" << sched.duration();
 
-  const auto cached = cache_.find(key.str());
-  if (cached != cache_.end()) return cached->second;
+  const std::string cache_key = key_prefix_ + key.str();
+  if (const auto cached = cache_->find(cache_key)) return *cached;
 
   count_plays(sched, block.drive_plays, block.cr_halves);
   block.duration_dt = sched.duration();
@@ -278,11 +283,11 @@ Executor::CompiledBlock Executor::compile_gate(const qc::Op& op) {
   } else {
     block.unitary = qc::gate_matrix(op.kind, op.constant_params());
   }
-  cache_[key.str()] = block;
+  cache_->insert(cache_key, block);
   return block;
 }
 
-Executor::CompiledBlock Executor::compile_pulse(const ExecOp& op) {
+CompiledBlock Executor::compile_pulse(const ExecOp& op) {
   CompiledBlock block;
   block.qubits = op.qubits;
   block.duration_dt = op.schedule.duration();
@@ -569,6 +574,14 @@ sim::Counts Executor::run_exact_density(const CompiledProgram& cp, std::size_t s
 
 sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+
+  // Refresh the cache-key prefix each run so a recalibrated (or
+  // noise-model-mutated) backend never replays stale compiled blocks out of
+  // a shared cache.
+  std::ostringstream prefix;
+  prefix << dev_.name() << '#' << std::hex << dev_.fingerprint() << std::dec
+         << (options_.noise && options_.coherent_noise ? "#coh;" : "#exact;");
+  key_prefix_ = prefix.str();
 
   const bool noisy = options_.noise;
   const bool density = noisy && options_.engine == Engine::ExactDensity;

@@ -1,12 +1,14 @@
 #pragma once
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "backend/backend.hpp"
 #include "common/rng.hpp"
+#include "core/compiled_block.hpp"
 #include "core/program.hpp"
+#include "serve/block_cache.hpp"
 #include "sim/density.hpp"
 #include "sim/state.hpp"
 #include "sim/statevector.hpp"
@@ -43,6 +45,13 @@ struct ExecutorOptions {
   /// Worker threads for the trajectory shot loop (0 = hardware concurrency).
   /// Counts are identical for every value — threads only change wall clock.
   std::size_t num_threads = 0;
+  /// Compiled-block cache shared with other executors (serve::EvalService
+  /// injects its process-wide cache here). Null = the executor creates a
+  /// private cache of `block_cache_capacity` entries.
+  std::shared_ptr<serve::BlockCache> block_cache;
+  /// LRU bound of the private per-executor cache (ignored when a shared
+  /// cache is injected).
+  std::size_t block_cache_capacity = 512;
 };
 
 /// Timing/duration report of one executed program.
@@ -69,17 +78,12 @@ class Executor {
 
   const ExecutionReport& last_report() const { return report_; }
 
- private:
-  struct CompiledBlock {
-    la::CMat unitary;                  // local to `qubits`
-    std::vector<std::size_t> qubits;   // physical
-    int duration_dt = 0;
-    std::size_t drive_plays = 0;       // 1q depolarizing charges
-    std::size_t cr_halves = 0;         // 2q depolarizing charges
-    bool virtual_only = false;         // exact & free (RZ etc.)
-    bool explicit_idle = false;        // Delay: relaxation + coherent drift
-  };
+  /// The compiled-block cache this executor compiles into (private or
+  /// injected) and its hit/miss/evict counters.
+  const std::shared_ptr<serve::BlockCache>& block_cache() const { return cache_; }
+  serve::BlockCache::Stats cache_stats() const { return cache_->stats(); }
 
+ private:
   /// One block placed on the ASAP timeline in local qubit coordinates.
   struct Scheduled {
     CompiledBlock block;
@@ -119,7 +123,10 @@ class Executor {
   const backend::FakeBackend& dev_;
   ExecutorOptions options_;
   ExecutionReport report_;
-  std::map<std::string, CompiledBlock> cache_;
+  std::shared_ptr<serve::BlockCache> cache_;
+  /// Backend-fingerprint + compile-option prefix of every cache key;
+  /// refreshed per run() so recalibration invalidates stale entries.
+  std::string key_prefix_;
 };
 
 }  // namespace hgp::core

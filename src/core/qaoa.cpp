@@ -56,6 +56,22 @@ double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<do
   return state->expectation(h);
 }
 
+std::vector<double> ideal_qaoa_expectation_batch(const graph::Graph& g, int p,
+                                                 const std::vector<std::vector<double>>& thetas,
+                                                 opt::BatchDispatcher* dispatcher,
+                                                 sim::StateKind backend) {
+  // Share the circuit skeleton and Hamiltonian across the batch; each point
+  // binds its own parameters onto a private state.
+  const qc::Circuit circuit = qaoa_circuit(g, p);
+  const la::PauliSum h = maxcut_hamiltonian(g);
+  return opt::parallel_map(dispatcher, thetas.size(), [&](std::size_t i) {
+    const std::unique_ptr<sim::QuantumState> state =
+        sim::make_state(backend, g.num_vertices());
+    state->run(circuit.bound(thetas[i]));
+    return state->expectation(h);
+  });
+}
+
 qc::Circuit hardware_efficient_pqc(std::size_t num_qubits, int layers,
                                    const std::string& entanglement) {
   HGP_REQUIRE(layers >= 1, "hardware_efficient_pqc: need layers >= 1");

@@ -5,6 +5,7 @@
 #include "circuit/circuit.hpp"
 #include "graph/graph.hpp"
 #include "linalg/pauli.hpp"
+#include "optimize/batch.hpp"
 #include "sim/state.hpp"
 
 namespace hgp::core {
@@ -34,6 +35,14 @@ inline int beta_index(int layer) { return 2 * layer + 1; }
 /// exact mixed-state path).
 double ideal_qaoa_expectation(const graph::Graph& g, int p, const std::vector<double>& theta,
                               sim::StateKind backend = sim::StateKind::Statevector);
+
+/// Batched form for landscape scans and angle grids: each angle vector is an
+/// independent deterministic evaluation, fanned out through `dispatcher`
+/// (e.g. a serve::EvalService) when given, inline otherwise.
+std::vector<double> ideal_qaoa_expectation_batch(
+    const graph::Graph& g, int p, const std::vector<std::vector<double>>& thetas,
+    opt::BatchDispatcher* dispatcher = nullptr,
+    sim::StateKind backend = sim::StateKind::Statevector);
 
 /// Hardware-efficient PQC of Fig. 2b: per-layer U3 rotations plus a CX
 /// entanglement layer ("linear", "circular", or "full"). Provided for the

@@ -29,7 +29,7 @@ la::PauliSum tfim_hamiltonian(std::size_t n, double j, double h, bool periodic) 
 }
 
 VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
-                  const VqeConfig& config) {
+                  const VqeConfig& config, opt::BatchDispatcher* dispatcher) {
   HGP_REQUIRE(hamiltonian.num_qubits() == ansatz.num_qubits(),
               "run_vqe: Hamiltonian/ansatz width mismatch");
   const std::size_t nparams = ansatz.num_parameters();
@@ -42,22 +42,28 @@ VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
     state->run(ansatz.bound(theta));
     return state->expectation(hamiltonian);
   };
+  // Energy evaluations are deterministic and independent: a batch can fan
+  // out across workers with no RNG bookkeeping at all.
+  const opt::BatchObjective energy_batch = [&](const std::vector<std::vector<double>>& xs) {
+    return opt::parallel_map(dispatcher, xs.size(),
+                             [&](std::size_t i) { return energy(xs[i]); });
+  };
 
   std::vector<double> x0(nparams, 0.1);
   opt::OptimizeResult r;
   if (config.optimizer == "cobyla") {
     opt::Cobyla::Options o;
     o.max_evaluations = config.max_evaluations;
-    r = opt::Cobyla(o).minimize(energy, x0);
+    r = opt::Cobyla(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "neldermead") {
     opt::NelderMead::Options o;
     o.max_evaluations = config.max_evaluations;
-    r = opt::NelderMead(o).minimize(energy, x0);
+    r = opt::NelderMead(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "spsa") {
     opt::Spsa::Options o;
     o.max_iterations = config.max_evaluations / 2;
     o.seed = config.seed;
-    r = opt::Spsa(o).minimize(energy, x0);
+    r = opt::Spsa(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "adam") {
     opt::Adam::Options o;
     o.max_iterations = std::max(1, config.max_evaluations /

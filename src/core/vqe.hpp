@@ -4,6 +4,7 @@
 
 #include "circuit/circuit.hpp"
 #include "linalg/pauli.hpp"
+#include "optimize/batch.hpp"
 #include "optimize/optimizer.hpp"
 
 namespace hgp::core {
@@ -31,9 +32,13 @@ struct VqeResult {
 };
 
 /// Minimize <ansatz(θ)| H |ansatz(θ)>. The ansatz's symbolic parameters are
-/// the optimization variables (initialized at 0.1 each).
+/// the optimization variables (initialized at 0.1 each). Energy evaluations
+/// are deterministic, so independent optimizer candidates fan out through
+/// `dispatcher` (e.g. a serve::EvalService) with results identical to the
+/// inline path.
 VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
-                  const VqeConfig& config = {});
+                  const VqeConfig& config = {},
+                  opt::BatchDispatcher* dispatcher = nullptr);
 
 /// Transverse-field Ising chain H = -J Σ Z_i Z_{i+1} - h Σ X_i, the standard
 /// VQE testbed.

@@ -30,14 +30,23 @@ double scored_cost(const sim::Counts& counts, const graph::Graph& g, const RunCo
 }  // namespace
 
 RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& dev,
-                   ModelKind kind, const RunConfig& config) {
+                   ModelKind kind, const RunConfig& config,
+                   opt::BatchDispatcher* dispatcher,
+                   std::shared_ptr<serve::BlockCache> block_cache) {
   ModelConfig mcfg = config.model;
   mcfg.gate_optimization = config.gate_optimization;
-  QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);
+  const QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);
 
   ExecutorOptions eopt;
   eopt.engine = engine_from_name(config.engine);
   eopt.num_threads = config.executor_threads;
+  // Every executor of this run (driver + per-candidate) compiles into one
+  // cache: across optimizer iterations only the parameter-bearing blocks
+  // recompile. A service-injected cache extends the sharing to every
+  // concurrent run of a sweep.
+  eopt.block_cache = block_cache
+                         ? std::move(block_cache)
+                         : std::make_shared<serve::BlockCache>(eopt.block_cache_capacity);
   Executor executor(dev, eopt);
   Rng rng(config.seed);
 
@@ -51,29 +60,37 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
         calibrate_readout(executor, probe.measure_qubits, config.calibration_shots, cal_rng));
   }
 
-  const opt::Objective objective = [&](const std::vector<double>& theta) {
-    const Program prog = model.instantiate(theta);
-    const sim::Counts counts = executor.run(prog, config.shots, rng);
-    return -scored_cost(counts, instance.graph, config, m3.get());
+  const opt::BatchObjective objective = [&](const std::vector<std::vector<double>>& xs) {
+    // One parent draw per batch; candidate i samples its own child stream.
+    // Values therefore depend only on the batch structure, never on which
+    // worker (or how many) evaluated them.
+    const std::uint64_t base = rng.next_u64();
+    return opt::parallel_map(dispatcher, xs.size(), [&](std::size_t i) {
+      const Program prog = model.instantiate(xs[i]);
+      Executor ex(dev, eopt);  // shares the block cache; private report
+      Rng candidate_rng = Rng::child(base, i);
+      const sim::Counts counts = ex.run(prog, config.shots, candidate_rng);
+      return -scored_cost(counts, instance.graph, config, m3.get());
+    });
   };
 
   opt::OptimizeResult opt_result;
   if (config.optimizer == "cobyla") {
     opt::Cobyla::Options copt;
     copt.max_evaluations = config.max_evaluations;
-    opt_result = opt::Cobyla(copt).minimize(objective, model.initial_parameters(),
-                                            model.bounds());
+    opt_result = opt::Cobyla(copt).minimize_batch(objective, model.initial_parameters(),
+                                                  model.bounds());
   } else if (config.optimizer == "spsa") {
     opt::Spsa::Options sopt;
     sopt.max_iterations = config.max_evaluations / 2;  // 2 evals per iteration
     sopt.seed = config.seed ^ 0x5B5Aull;
-    opt_result = opt::Spsa(sopt).minimize(objective, model.initial_parameters(),
-                                          model.bounds());
+    opt_result = opt::Spsa(sopt).minimize_batch(objective, model.initial_parameters(),
+                                                model.bounds());
   } else if (config.optimizer == "neldermead") {
     opt::NelderMead::Options nopt;
     nopt.max_evaluations = config.max_evaluations;
-    opt_result = opt::NelderMead(nopt).minimize(objective, model.initial_parameters(),
-                                                model.bounds());
+    opt_result = opt::NelderMead(nopt).minimize_batch(objective, model.initial_parameters(),
+                                                      model.bounds());
   } else {
     HGP_REQUIRE(false, "run_qaoa: unknown optimizer '" + config.optimizer + "'");
   }

@@ -54,11 +54,22 @@ struct RunResult {
   std::size_t num_parameters = 0;
 };
 
-/// Train one model variant on one backend with COBYLA and report the paper's
-/// metrics. The cost metric used during training matches the reported one
-/// (plain expectation, M3-mitigated, and/or CVaR).
+/// Train one model variant on one backend and report the paper's metrics.
+/// The cost metric used during training matches the reported one (plain
+/// expectation, M3-mitigated, and/or CVaR).
+///
+/// The optimizer's independent candidates (SPSA perturbation pairs, simplex
+/// vertices, COBYLA trial points) are evaluated through a BatchObjective:
+/// each batch draws one parent RNG value and candidate i samples from
+/// Rng::child(base, i), so the result is bit-identical whether the batch
+/// runs inline (dispatcher == nullptr), or on a serve::EvalService pool of
+/// any worker count. All of the run's executors compile into one
+/// compiled-block cache — pass a service's cache to share blocks across
+/// concurrent runs; null creates a run-private cache.
 RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& dev,
-                   ModelKind kind, const RunConfig& config);
+                   ModelKind kind, const RunConfig& config,
+                   opt::BatchDispatcher* dispatcher = nullptr,
+                   std::shared_ptr<serve::BlockCache> block_cache = nullptr);
 
 /// Step I (paper §IV-B): binary-search the minimum mixer pulse duration that
 /// keeps the trained AR within `keep_fraction` of the 320dt baseline.

@@ -1,0 +1,35 @@
+#include "optimize/batch.hpp"
+
+namespace hgp::opt {
+
+BatchObjective serial_batch(Objective f) {
+  return [f = std::move(f)](const std::vector<std::vector<double>>& xs) {
+    std::vector<double> vals;
+    vals.reserve(xs.size());
+    for (const std::vector<double>& x : xs) vals.push_back(f(x));
+    return vals;
+  };
+}
+
+void BatchDispatcher::run(std::vector<std::function<void()>>& tasks) {
+  for (std::function<void()>& task : tasks) task();
+}
+
+std::vector<double> parallel_map(BatchDispatcher& dispatcher, std::size_t n,
+                                 const std::function<double(std::size_t)>& fn) {
+  std::vector<double> vals(n, 0.0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tasks.push_back([&vals, &fn, i] { vals[i] = fn(i); });
+  dispatcher.run(tasks);
+  return vals;
+}
+
+std::vector<double> parallel_map(BatchDispatcher* dispatcher, std::size_t n,
+                                 const std::function<double(std::size_t)>& fn) {
+  BatchDispatcher inline_dispatcher;
+  return parallel_map(dispatcher != nullptr ? *dispatcher : inline_dispatcher, n, fn);
+}
+
+}  // namespace hgp::opt

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hgp::opt {
+
+/// Objective to minimize (VQA drivers pass the negative cost, since QAOA
+/// maximizes the cut expectation).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Batched objective: evaluate a list of independent candidate parameter
+/// vectors, return their values in the same order. Optimizers submit every
+/// mutually-independent group of candidates (SPSA perturbation pairs,
+/// simplex vertices, COBYLA trial points) in one call, so a parallel
+/// evaluator can fan them out across workers. For a fixed batch structure
+/// the optimizer's result depends only on the returned values, never on how
+/// the batch was executed.
+using BatchObjective =
+    std::function<std::vector<double>(const std::vector<std::vector<double>>&)>;
+
+/// Adapt a scalar objective: candidates evaluate sequentially in index
+/// order, so a batched optimizer driven through it is
+/// evaluation-for-evaluation identical to the serial path.
+BatchObjective serial_batch(Objective f);
+
+/// Runs a batch of independent tasks to completion. The base implementation
+/// executes them inline in order; serve::EvalService overrides it with a
+/// worker pool. Defined in optimize/ so core-layer drivers can accept a
+/// dispatcher without depending on the serve subsystem.
+class BatchDispatcher {
+ public:
+  virtual ~BatchDispatcher() = default;
+  virtual void run(std::vector<std::function<void()>>& tasks);
+};
+
+/// Evaluate fn(0..n-1) through the dispatcher and collect the values — the
+/// fan-out skeleton shared by the batched QAOA/VQE/landscape drivers. The
+/// pointer overload treats null as "run inline" (the drivers' optional-
+/// dispatcher convention).
+std::vector<double> parallel_map(BatchDispatcher& dispatcher, std::size_t n,
+                                 const std::function<double(std::size_t)>& fn);
+std::vector<double> parallel_map(BatchDispatcher* dispatcher, std::size_t n,
+                                 const std::function<double(std::size_t)>& fn);
+
+}  // namespace hgp::opt

@@ -47,6 +47,11 @@ double dist2(const std::vector<double>& a, const std::vector<double>& b) {
 
 OptimizeResult Cobyla::minimize(const Objective& f, std::vector<double> x0,
                                 const Bounds& bounds) const {
+  return minimize_batch(serial_batch(f), std::move(x0), bounds);
+}
+
+OptimizeResult Cobyla::minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                      const Bounds& bounds) const {
   const std::size_t n = x0.size();
   HGP_REQUIRE(n >= 1, "Cobyla: empty parameter vector");
   OptimizeResult out;
@@ -56,19 +61,29 @@ OptimizeResult Cobyla::minimize(const Objective& f, std::vector<double> x0,
   int evals = 0;
   auto eval = [&](const std::vector<double>& x) {
     ++evals;
-    return f(x);
+    return f({x})[0];
   };
 
   // Interpolation set: x0 plus rho steps along each axis. Each later
   // iteration costs exactly one evaluation (Powell's budget discipline; the
-  // paper runs COBYLA with a 50-evaluation cap on 19+ parameters).
+  // paper runs COBYLA with a 50-evaluation cap on 19+ parameters). The set
+  // is mutually independent — one batch, capped at the evaluation budget
+  // (points beyond it keep the default value, as in the serial path).
   std::vector<std::vector<double>> pts(n + 1, x0);
   std::vector<double> vals(n + 1);
-  vals[0] = eval(x0);
-  for (std::size_t i = 0; i < n && evals < options_.max_evaluations; ++i) {
-    pts[i + 1][i] += rho;
-    bounds.clip(pts[i + 1]);
-    vals[i + 1] = eval(pts[i + 1]);
+  {
+    const std::size_t budget = static_cast<std::size_t>(
+        std::max(0, options_.max_evaluations));
+    const std::size_t initial = std::min(n + 1, budget == 0 ? std::size_t{1} : budget);
+    for (std::size_t i = 0; i + 1 < initial; ++i) {
+      pts[i + 1][i] += rho;
+      bounds.clip(pts[i + 1]);
+    }
+    std::vector<std::vector<double>> batch(pts.begin(),
+                                           pts.begin() + static_cast<long>(initial));
+    const std::vector<double> batch_vals = f(batch);
+    for (std::size_t i = 0; i < initial; ++i) vals[i] = batch_vals[i];
+    evals += static_cast<int>(initial);
   }
 
   auto best_index = [&]() {

@@ -24,6 +24,10 @@ class Cobyla : public Optimizer {
 
   OptimizeResult minimize(const Objective& f, std::vector<double> x0,
                           const Bounds& bounds = {}) const override;
+  /// The n+1-point interpolation set builds as one batch; the trust-region
+  /// trial points stay sequential (each depends on the refreshed model).
+  OptimizeResult minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                const Bounds& bounds = {}) const override;
   std::string name() const override { return "COBYLA"; }
 
  private:

@@ -10,6 +10,11 @@ namespace hgp::opt {
 
 OptimizeResult NelderMead::minimize(const Objective& f, std::vector<double> x0,
                                     const Bounds& bounds) const {
+  return minimize_batch(serial_batch(f), std::move(x0), bounds);
+}
+
+OptimizeResult NelderMead::minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                          const Bounds& bounds) const {
   const std::size_t n = x0.size();
   HGP_REQUIRE(n >= 1, "NelderMead: empty parameter vector");
   OptimizeResult out;
@@ -19,22 +24,19 @@ OptimizeResult NelderMead::minimize(const Objective& f, std::vector<double> x0,
   auto eval = [&](std::vector<double> x) {
     bounds.clip(x);
     ++evals;
-    return std::pair(f(x), x);
+    return std::pair(f({x})[0], x);
   };
 
+  // Initial simplex: x0 plus one step along each axis, all independent —
+  // one batch of n+1 candidates.
   std::vector<std::vector<double>> pts(n + 1, x0);
   std::vector<double> vals(n + 1);
-  {
-    auto [v, x] = eval(x0);
-    vals[0] = v;
-    pts[0] = x;
-  }
   for (std::size_t i = 0; i < n; ++i) {
     pts[i + 1][i] += options_.initial_step;
-    auto [v, x] = eval(pts[i + 1]);
-    vals[i + 1] = v;
-    pts[i + 1] = x;
+    bounds.clip(pts[i + 1]);
   }
+  vals = f(pts);
+  evals += static_cast<int>(n) + 1;
 
   std::vector<std::size_t> order(n + 1);
   auto sort_simplex = [&] {
@@ -95,15 +97,27 @@ OptimizeResult NelderMead::minimize(const Objective& f, std::vector<double> x0,
       ++out.iterations;
       continue;
     }
-    // Shrink toward the best vertex.
+    // Shrink toward the best vertex: the surviving vertices move
+    // independently — one batch, capped at the remaining budget (vertices
+    // beyond it keep their old position and value, as in the serial path).
     const std::size_t best = order[0];
-    for (std::size_t k = 0; k <= n && evals < options_.max_evaluations; ++k) {
+    std::vector<std::size_t> shrunk;
+    for (std::size_t k = 0;
+         k <= n && evals + static_cast<int>(shrunk.size()) < options_.max_evaluations;
+         ++k) {
       if (k == best) continue;
       for (std::size_t j = 0; j < n; ++j)
         pts[k][j] = pts[best][j] + 0.5 * (pts[k][j] - pts[best][j]);
-      auto [v, x] = eval(pts[k]);
-      vals[k] = v;
-      pts[k] = x;
+      bounds.clip(pts[k]);
+      shrunk.push_back(k);
+    }
+    std::vector<std::vector<double>> batch;
+    batch.reserve(shrunk.size());
+    for (std::size_t k : shrunk) batch.push_back(pts[k]);
+    if (!batch.empty()) {
+      const std::vector<double> batch_vals = f(batch);
+      for (std::size_t i = 0; i < shrunk.size(); ++i) vals[shrunk[i]] = batch_vals[i];
+      evals += static_cast<int>(shrunk.size());
     }
     ++out.iterations;
   }

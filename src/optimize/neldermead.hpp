@@ -19,6 +19,10 @@ class NelderMead : public Optimizer {
 
   OptimizeResult minimize(const Objective& f, std::vector<double> x0,
                           const Bounds& bounds = {}) const override;
+  /// The n+1 initial vertices and the n shrink points are batches; the
+  /// reflect/expand/contract probes stay sequential (data-dependent).
+  OptimizeResult minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                const Bounds& bounds = {}) const override;
   std::string name() const override { return "Nelder-Mead"; }
 
  private:

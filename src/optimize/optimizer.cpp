@@ -12,6 +12,12 @@ void Bounds::clip(std::vector<double>& x) const {
   for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::clamp(x[i], lo[i], hi[i]);
 }
 
+OptimizeResult Optimizer::minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                         const Bounds& bounds) const {
+  const Objective scalar = [&f](const std::vector<double>& x) { return f({x})[0]; };
+  return minimize(scalar, std::move(x0), bounds);
+}
+
 int iterations_to_converge(const OptimizeResult& result, double tol) {
   if (result.history.empty()) return result.iterations;
   const double target = result.history.back() + std::abs(tol);

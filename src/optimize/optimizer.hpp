@@ -4,11 +4,9 @@
 #include <string>
 #include <vector>
 
-namespace hgp::opt {
+#include "optimize/batch.hpp"
 
-/// Objective to minimize (VQA drivers pass the negative cost, since QAOA
-/// maximizes the cut expectation).
-using Objective = std::function<double(const std::vector<double>&)>;
+namespace hgp::opt {
 
 /// Box bounds; empty vectors mean unbounded. Optimizers clip candidates.
 struct Bounds {
@@ -36,6 +34,14 @@ class Optimizer {
   virtual ~Optimizer() = default;
   virtual OptimizeResult minimize(const Objective& f, std::vector<double> x0,
                                   const Bounds& bounds = {}) const = 0;
+  /// Batched entry point: independent candidates (perturbation pairs,
+  /// simplex vertices, trial points) arrive as one BatchObjective call, so a
+  /// parallel evaluator can run them concurrently. The default adapter feeds
+  /// singleton batches through minimize(); SPSA, Nelder-Mead, and COBYLA
+  /// override it with real batching whose evaluation sequence matches their
+  /// serial path exactly.
+  virtual OptimizeResult minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                        const Bounds& bounds = {}) const;
   virtual std::string name() const = 0;
 };
 

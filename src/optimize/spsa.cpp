@@ -9,6 +9,11 @@ namespace hgp::opt {
 
 OptimizeResult Spsa::minimize(const Objective& f, std::vector<double> x0,
                               const Bounds& bounds) const {
+  return minimize_batch(serial_batch(f), std::move(x0), bounds);
+}
+
+OptimizeResult Spsa::minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                    const Bounds& bounds) const {
   const std::size_t n = x0.size();
   HGP_REQUIRE(n >= 1, "Spsa: empty parameter vector");
   Rng rng(options_.seed);
@@ -17,7 +22,7 @@ OptimizeResult Spsa::minimize(const Objective& f, std::vector<double> x0,
 
   std::vector<double> x = x0;
   std::vector<double> best_x = x;
-  double best_val = f(x);
+  double best_val = f({x})[0];
   out.evaluations = 1;
 
   for (int k = 0; k < options_.max_iterations; ++k) {
@@ -35,8 +40,10 @@ OptimizeResult Spsa::minimize(const Objective& f, std::vector<double> x0,
     }
     bounds.clip(xp);
     bounds.clip(xm);
-    const double fp = f(xp);
-    const double fm = f(xm);
+    // The perturbation pair is independent — one batch, two workers.
+    const std::vector<double> pair = f({xp, xm});
+    const double fp = pair[0];
+    const double fm = pair[1];
     out.evaluations += 2;
 
     for (std::size_t j = 0; j < n; ++j)
@@ -53,7 +60,7 @@ OptimizeResult Spsa::minimize(const Objective& f, std::vector<double> x0,
   }
 
   // Final evaluation at the iterate (often better than the best probe).
-  const double fx = f(x);
+  const double fx = f({x})[0];
   ++out.evaluations;
   if (fx < best_val) {
     best_val = fx;

@@ -26,6 +26,9 @@ class Spsa : public Optimizer {
 
   OptimizeResult minimize(const Objective& f, std::vector<double> x0,
                           const Bounds& bounds = {}) const override;
+  /// Each iteration's perturbation pair {x+ckΔ, x-ckΔ} is one batch.
+  OptimizeResult minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                const Bounds& bounds = {}) const override;
   std::string name() const override { return "SPSA"; }
 
  private:

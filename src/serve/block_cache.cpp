@@ -1,0 +1,60 @@
+#include "serve/block_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace hgp::serve {
+
+BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
+  HGP_REQUIRE(capacity >= 1, "BlockCache: capacity must be positive");
+}
+
+std::shared_ptr<const core::CompiledBlock> BlockCache::find(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.block;
+}
+
+std::shared_ptr<const core::CompiledBlock> BlockCache::insert(const std::string& key,
+                                                              core::CompiledBlock block) {
+  auto shared = std::make_shared<const core::CompiledBlock>(std::move(block));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.block = shared;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return shared;
+  }
+  lru_.push_front(key);
+  map_[key] = Entry{shared, lru_.begin()};
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return shared;
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void BlockCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace hgp::serve

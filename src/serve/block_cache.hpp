@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/compiled_block.hpp"
+
+namespace hgp::serve {
+
+/// Thread-safe, LRU-bounded map from structure keys to compiled blocks.
+///
+/// The key encodes everything a block's unitary depends on — backend
+/// fingerprint, compile options, gate kind, physical qubits, exact
+/// (hexfloat) parameters, and schedule duration — so one cache can be shared
+/// process-wide: across optimizer candidates of one run, across COBYLA
+/// iterations (only parameter-bearing blocks recompile), and across the
+/// concurrent runs of a sweep. Values are immutable and handed out as
+/// shared_ptr, so eviction never invalidates a block another thread is
+/// still holding.
+class BlockCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit BlockCache(std::size_t capacity = 4096);
+
+  /// Look up a block, refreshing its LRU position. Null on miss.
+  std::shared_ptr<const core::CompiledBlock> find(const std::string& key);
+
+  /// Insert (or refresh) a block and return the cached instance. Two workers
+  /// racing to compile the same key both insert identical blocks — last one
+  /// wins, which is benign.
+  std::shared_ptr<const core::CompiledBlock> insert(const std::string& key,
+                                                    core::CompiledBlock block);
+
+  Stats stats() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::CompiledBlock> block;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hgp::serve

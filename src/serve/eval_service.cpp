@@ -1,0 +1,91 @@
+#include "serve/eval_service.hpp"
+
+#include <algorithm>
+
+namespace hgp::serve {
+
+EvalService::EvalService(Options options)
+    : cache_(std::make_shared<BlockCache>(options.cache_capacity)) {
+  const std::size_t n = options.num_workers != 0
+                            ? options.num_workers
+                            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+EvalService::~EvalService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool EvalService::run_one(std::unique_lock<std::mutex>& lock, bool jobs_too) {
+  std::function<void()> task;
+  if (!candidates_.empty()) {
+    task = std::move(candidates_.front());
+    candidates_.pop_front();
+  } else if (jobs_too && !jobs_.empty()) {
+    task = std::move(jobs_.front());
+    jobs_.pop_front();
+  } else {
+    return false;
+  }
+  lock.unlock();
+  task();
+  lock.lock();
+  return true;
+}
+
+void EvalService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !candidates_.empty() || !jobs_.empty(); });
+    if (!run_one(lock, /*jobs_too=*/true) && stop_) return;
+  }
+}
+
+void EvalService::run(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1 || workers_.empty()) {
+    // Nothing to fan out — run inline (exceptions propagate directly).
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::function<void()>& fn : tasks) {
+      candidates_.push_back([this, batch, fn = std::move(fn)] {
+        try {
+          fn();
+        } catch (...) {
+          const std::lock_guard<std::mutex> inner(mutex_);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        {
+          const std::lock_guard<std::mutex> inner(mutex_);
+          --batch->remaining;
+        }
+        cv_.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // Help drain the candidate queue while waiting: a batch submitted from a
+  // job running on the pool makes progress even when every worker is busy,
+  // so nested submission cannot deadlock.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (batch->remaining > 0) {
+    if (!run_one(lock, /*jobs_too=*/false))
+      cv_.wait(lock, [&] { return batch->remaining == 0 || !candidates_.empty(); });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace hgp::serve

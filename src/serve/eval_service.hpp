@@ -1,0 +1,97 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "optimize/batch.hpp"
+#include "serve/block_cache.hpp"
+
+namespace hgp::serve {
+
+/// The batched evaluation service: one worker pool plus one shared
+/// compiled-block cache serving many concurrent VQA workloads.
+///
+/// Two kinds of work flow through it:
+///   - *candidate batches* (opt::BatchDispatcher::run): the independent
+///     objective evaluations an optimizer iteration produces. The submitting
+///     thread helps drain the candidate queue while it waits, so a batch
+///     submitted from inside a pool job can never deadlock the pool.
+///   - *jobs* (submit): long-lived run-level tasks (one SweepRunner run
+///     each), returned as futures. Workers prefer candidates over jobs, so
+///     in-flight runs finish their evaluations before new runs start.
+///
+/// Determinism: the service only changes *where* tasks execute, never what
+/// they compute — callers key every stochastic input to a candidate's index
+/// (Rng::child streams), so any worker count yields bit-identical results.
+class EvalService : public opt::BatchDispatcher {
+ public:
+  struct Options {
+    /// Worker threads (0 = hardware concurrency).
+    std::size_t num_workers = 0;
+    /// LRU bound of the shared compiled-block cache.
+    std::size_t cache_capacity = 4096;
+  };
+
+  EvalService() : EvalService(Options{}) {}
+  explicit EvalService(Options options);
+  ~EvalService() override;
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// The process-wide compiled-block cache shared by every executor running
+  /// on this service (inject via ExecutorOptions::block_cache).
+  const std::shared_ptr<BlockCache>& block_cache() const { return cache_; }
+  BlockCache::Stats cache_stats() const { return cache_->stats(); }
+
+  /// opt::BatchDispatcher: run all candidate tasks, possibly in parallel,
+  /// and return when every one has finished. The first exception thrown by a
+  /// task of this batch is rethrown here.
+  void run(std::vector<std::function<void()>>& tasks) override;
+
+  /// Queue a job on the pool and get its future.
+  template <typename F>
+  auto submit(F job) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(job));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push_back([task] { (*task)(); });
+    }
+    cv_.notify_all();
+    return future;
+  }
+
+ private:
+  /// One in-flight candidate batch: tasks decrement `remaining`; the first
+  /// failure is captured for the submitting thread.
+  struct Batch {
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Pop one task under `lock` (candidates first, then jobs — jobs only when
+  /// `jobs_too`), run it unlocked. False when both queues are empty.
+  bool run_one(std::unique_lock<std::mutex>& lock, bool jobs_too);
+
+  std::shared_ptr<BlockCache> cache_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> candidates_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hgp::serve

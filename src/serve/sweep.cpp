@@ -1,0 +1,33 @@
+#include "serve/sweep.hpp"
+
+#include "common/error.hpp"
+
+namespace hgp::serve {
+
+SweepRunner::SweepRunner(Options options)
+    : service_(EvalService::Options{options.num_workers, options.cache_capacity}) {}
+
+std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
+  HGP_REQUIRE(job.dev != nullptr, "SweepRunner: job '" + job.label + "' has no backend");
+  // The pool provides the parallelism: a default thread count (0 = hardware
+  // concurrency) would nest a full trajectory shot pool inside every worker
+  // and oversubscribe the machine. Counts are bit-identical for any thread
+  // count, so this changes scheduling only, never results.
+  if (job.config.executor_threads == 0) job.config.executor_threads = 1;
+  return service_.submit([this, job = std::move(job)] {
+    return core::run_qaoa(job.instance, *job.dev, job.kind, job.config, &service_,
+                          service_.block_cache());
+  });
+}
+
+std::vector<core::RunResult> SweepRunner::run_all(std::vector<SweepJob> jobs) {
+  std::vector<std::future<core::RunResult>> futures;
+  futures.reserve(jobs.size());
+  for (SweepJob& job : jobs) futures.push_back(submit(std::move(job)));
+  std::vector<core::RunResult> out;
+  out.reserve(futures.size());
+  for (std::future<core::RunResult>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace hgp::serve

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "core/models.hpp"
+#include "core/workflow.hpp"
+#include "graph/instances.hpp"
+#include "serve/eval_service.hpp"
+
+namespace hgp::serve {
+
+/// One cell of a sweep grid (a Table II cell, a Fig. 5/6 ablation bar): a
+/// full machine-in-loop training run. `dev` is non-owning — keep the backend
+/// alive until the sweep finishes.
+struct SweepJob {
+  std::string label;
+  graph::Instance instance;
+  const backend::FakeBackend* dev = nullptr;
+  core::ModelKind kind = core::ModelKind::Hybrid;
+  core::RunConfig config;
+};
+
+/// Multi-tenant sweep session: queue many run configurations onto one
+/// shared EvalService and stream their results as futures. Every run's
+/// optimizer candidates and every concurrent run share the service's
+/// worker pool and compiled-block cache, so identical gate/pulse blocks
+/// compile once for the whole grid. Results are bit-identical to running
+/// each job alone, for any worker count (see run_qaoa's RNG contract).
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads of the underlying EvalService (0 = hardware).
+    std::size_t num_workers = 0;
+    /// LRU bound of the shared compiled-block cache.
+    std::size_t cache_capacity = 8192;
+  };
+
+  SweepRunner() : SweepRunner(Options{}) {}
+  explicit SweepRunner(Options options);
+
+  /// Queue one run; the future resolves when it finishes training. A
+  /// default (0) RunConfig::executor_threads is forced to 1 — the pool is
+  /// the parallelism; nesting a shot pool per worker would oversubscribe.
+  /// Do not block on sweep futures from inside another pool job.
+  std::future<core::RunResult> submit(SweepJob job);
+
+  /// Queue all jobs, wait, and return results in submission order.
+  std::vector<core::RunResult> run_all(std::vector<SweepJob> jobs);
+
+  EvalService& service() { return service_; }
+  BlockCache::Stats cache_stats() const { return service_.cache_stats(); }
+
+ private:
+  EvalService service_;
+};
+
+}  // namespace hgp::serve

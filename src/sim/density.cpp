@@ -1,5 +1,6 @@
 #include "sim/density.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -37,35 +38,8 @@ DensityMatrix DensityMatrix::from_amplitudes(const la::CVec& amplitudes) {
   return dm;
 }
 
-CMat DensityMatrix::lift(const CMat& op, const std::vector<std::size_t>& qubits) const {
-  const std::size_t k = qubits.size();
-  HGP_REQUIRE(op.rows() == (std::size_t{1} << k), "lift: operator size mismatch");
-  const std::size_t dim = std::size_t{1} << num_qubits_;
-  CMat full(dim, dim);
-
-  std::uint64_t mask = 0;
-  for (std::size_t q : qubits) {
-    HGP_REQUIRE(q < num_qubits_, "lift: qubit out of range");
-    mask |= std::uint64_t{1} << q;
-  }
-  auto sub_index = [&](std::uint64_t full_idx) {
-    std::uint64_t s = 0;
-    for (std::size_t j = 0; j < k; ++j)
-      if ((full_idx >> qubits[j]) & 1) s |= (std::uint64_t{1} << j);
-    return s;
-  };
-  for (std::uint64_t r = 0; r < dim; ++r) {
-    for (std::uint64_t c = 0; c < dim; ++c) {
-      if ((r & ~mask) != (c & ~mask)) continue;  // identity on the rest
-      full(r, c) = op(sub_index(r), sub_index(c));
-    }
-  }
-  return full;
-}
-
 void DensityMatrix::apply_matrix(const CMat& u, const std::vector<std::size_t>& qubits) {
-  const CMat full = lift(u, qubits);
-  rho_ = full * rho_ * full.dagger();
+  apply_kraus({u}, qubits);
 }
 
 void DensityMatrix::apply_unitary(const CMat& u, const std::vector<std::size_t>& qubits) {
@@ -74,14 +48,62 @@ void DensityMatrix::apply_unitary(const CMat& u, const std::vector<std::size_t>&
 
 void DensityMatrix::apply_kraus(const std::vector<CMat>& kraus,
                                 const std::vector<std::size_t>& qubits) {
+  // In-place block-partitioned update. rho' = Σ_k K rho K† with K acting on
+  // `qubits` couples only entries that agree on every *other* qubit, so rho
+  // decomposes into independent m x m blocks (m = 2^k) indexed by the rest
+  // bits — each block transforms in place with two small matrix products.
+  // O(4^n · |K| · m) work and O(m²) scratch, vs the dense-lift formulation's
+  // O(8^n) products and O(4^n) temporaries per operator.
   HGP_REQUIRE(!kraus.empty(), "apply_kraus: empty Kraus set");
-  const std::size_t dim = rho_.rows();
-  CMat out(dim, dim);
-  for (const CMat& k : kraus) {
-    const CMat full = lift(k, qubits);
-    out += full * rho_ * full.dagger();
+  const std::size_t k = qubits.size();
+  const std::size_t m = std::size_t{1} << k;
+  for (const CMat& op : kraus)
+    HGP_REQUIRE(op.rows() == m && op.cols() == m, "apply_kraus: operator size mismatch");
+
+  // offset[sub] spreads a k-bit sub-index onto the qubit positions
+  // (qubits[j] carries bit j — first listed qubit is the LSB).
+  std::uint64_t mask = 0;
+  std::vector<std::uint64_t> offset(m, 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    HGP_REQUIRE(qubits[j] < num_qubits_, "apply_kraus: qubit out of range");
+    const std::uint64_t bit = std::uint64_t{1} << qubits[j];
+    HGP_REQUIRE((mask & bit) == 0, "apply_kraus: duplicate qubit");
+    mask |= bit;
   }
-  rho_ = std::move(out);
+  for (std::size_t sub = 0; sub < m; ++sub)
+    for (std::size_t j = 0; j < k; ++j)
+      if ((sub >> j) & 1) offset[sub] |= std::uint64_t{1} << qubits[j];
+
+  const std::uint64_t dim = rho_.rows();
+  std::vector<cxd> block(m * m), tmp(m * m), out(m * m);
+  for (std::uint64_t rb = 0; rb < dim; ++rb) {
+    if (rb & mask) continue;
+    for (std::uint64_t cb = 0; cb < dim; ++cb) {
+      if (cb & mask) continue;
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+          block[i * m + j] = rho_(rb | offset[i], cb | offset[j]);
+      std::fill(out.begin(), out.end(), cxd{0.0, 0.0});
+      for (const CMat& op : kraus) {
+        // tmp = K · block, then out += tmp · K†.
+        for (std::size_t a = 0; a < m; ++a)
+          for (std::size_t j = 0; j < m; ++j) {
+            cxd s{0.0, 0.0};
+            for (std::size_t i = 0; i < m; ++i) s += op(a, i) * block[i * m + j];
+            tmp[a * m + j] = s;
+          }
+        for (std::size_t a = 0; a < m; ++a)
+          for (std::size_t b = 0; b < m; ++b) {
+            cxd s{0.0, 0.0};
+            for (std::size_t j = 0; j < m; ++j) s += tmp[a * m + j] * std::conj(op(b, j));
+            out[a * m + b] += s;
+          }
+      }
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+          rho_(rb | offset[i], cb | offset[j]) = out[i * m + j];
+    }
+  }
 }
 
 void DensityMatrix::apply_depolarizing(const std::vector<std::size_t>& qubits, double p) {

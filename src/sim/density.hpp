@@ -57,9 +57,6 @@ class DensityMatrix final : public QuantumState {
   double purity() const;
 
  private:
-  /// Lift a k-qubit operator to the full register.
-  la::CMat lift(const la::CMat& op, const std::vector<std::size_t>& qubits) const;
-
   std::size_t num_qubits_;
   la::CMat rho_;
 };

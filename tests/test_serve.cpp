@@ -1,0 +1,242 @@
+// The serve subsystem: the shared compiled-block cache (LRU semantics,
+// structure keys, calibration invalidation), the EvalService worker pool
+// (nested batches, error propagation), and the determinism contract —
+// batched runs are bit-identical for any worker count, and a SweepRunner
+// grid matches sequential execution exactly.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "backend/presets.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/executor.hpp"
+#include "core/qaoa.hpp"
+#include "core/vqe.hpp"
+#include "core/workflow.hpp"
+#include "graph/instances.hpp"
+#include "serve/block_cache.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/sweep.hpp"
+
+using namespace hgp;
+using core::ExecOp;
+using core::Executor;
+using core::ExecutorOptions;
+using core::Program;
+
+namespace {
+
+const backend::FakeBackend& toronto() {
+  static const backend::FakeBackend dev = backend::make_toronto();
+  return dev;
+}
+
+Program bell_program() {
+  Program prog;
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {0}, {qc::Param::constant(la::kPi / 2)}}));
+  prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::SX, {0}, {}}));
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZ, {0}, {qc::Param::constant(la::kPi / 2)}}));
+  prog.ops.push_back(ExecOp::from_gate(qc::Op{qc::GateKind::CX, {0, 1}, {}}));
+  prog.measure_qubits = {0, 1};
+  return prog;
+}
+
+Program rzz_program(double theta) {
+  Program prog;
+  prog.ops.push_back(
+      ExecOp::from_gate(qc::Op{qc::GateKind::RZZ, {0, 1}, {qc::Param::constant(theta)}}));
+  prog.measure_qubits = {0, 1};
+  return prog;
+}
+
+core::RunConfig tiny_config(const std::string& optimizer) {
+  core::RunConfig cfg;
+  cfg.shots = 64;
+  cfg.max_evaluations = 6;
+  cfg.optimizer = optimizer;
+  cfg.executor_threads = 1;  // keep the nested shot loop serial in tests
+  return cfg;
+}
+
+void expect_same_result(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.optimizer.x, b.optimizer.x);
+  EXPECT_EQ(a.optimizer.value, b.optimizer.value);
+  EXPECT_EQ(a.optimizer.history, b.optimizer.history);
+  EXPECT_EQ(a.optimizer.evaluations, b.optimizer.evaluations);
+  EXPECT_EQ(a.ar, b.ar);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+}
+
+}  // namespace
+
+TEST(BlockCache, LruEvictsOldestAndCountsStats) {
+  serve::BlockCache cache(2);
+  core::CompiledBlock block;
+  EXPECT_EQ(cache.find("a"), nullptr);  // miss
+  cache.insert("a", block);
+  cache.insert("b", block);
+  EXPECT_NE(cache.find("a"), nullptr);  // hit — "a" becomes most recent
+  cache.insert("c", block);             // evicts the LRU entry "b"
+  EXPECT_EQ(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+
+  const serve::BlockCache::Stats s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_NEAR(s.hit_rate(), 0.6, 1e-12);
+}
+
+TEST(BlockCache, ExecutorHitsOnReboundBlocksAndSharesAcrossExecutors) {
+  auto cache = std::make_shared<serve::BlockCache>(256);
+  ExecutorOptions opts;
+  opts.block_cache = cache;
+  Executor ex(toronto(), opts);
+  Rng rng(5);
+
+  ex.run(bell_program(), 32, rng);
+  const serve::BlockCache::Stats first = ex.cache_stats();
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_EQ(first.misses, 2u);  // SX(0) + CX(0,1); virtual RZ blocks bypass
+
+  ex.run(bell_program(), 32, rng);  // second evaluation: everything hits
+  EXPECT_EQ(ex.cache_stats().hits, 2u);
+  EXPECT_EQ(ex.cache_stats().misses, 2u);
+
+  Executor other(toronto(), opts);  // concurrent-run sharing: same cache
+  other.run(bell_program(), 32, rng);
+  EXPECT_EQ(cache->stats().hits, 4u);
+  EXPECT_EQ(cache->stats().misses, 2u);
+}
+
+TEST(BlockCache, KeyDiscriminatesParametersAndCalibration) {
+  auto cache = std::make_shared<serve::BlockCache>(256);
+  ExecutorOptions opts;
+  opts.block_cache = cache;
+  const backend::FakeBackend dev = backend::make_toronto();
+  Executor ex(dev, opts);
+  Rng rng(7);
+
+  ex.run(rzz_program(0.3), 16, rng);
+  EXPECT_EQ(cache->stats().misses, 1u);
+  ex.run(rzz_program(0.3), 16, rng);  // re-bound identical parameter: hit
+  EXPECT_EQ(cache->stats().hits, 1u);
+  ex.run(rzz_program(0.3000001), 16, rng);  // nearby angle: its own slot
+  EXPECT_EQ(cache->stats().misses, 2u);
+
+  // Recalibration: a drifted device must not replay blocks compiled for the
+  // original calibration out of the same shared cache.
+  backend::FakeBackend drifted = backend::make_toronto();
+  drifted.mutable_noise_model().qubits[0].freq_drift_ghz += 1e-4;
+  EXPECT_NE(dev.fingerprint(), drifted.fingerprint());
+  Executor ex2(drifted, opts);
+  const serve::BlockCache::Stats before = cache->stats();
+  ex2.run(rzz_program(0.3), 16, rng);
+  EXPECT_EQ(cache->stats().hits, before.hits);
+  EXPECT_EQ(cache->stats().misses, before.misses + 1);
+}
+
+TEST(EvalService, NestedBatchesCompleteWithoutDeadlock) {
+  // More jobs than workers, each dispatching its own candidate batches onto
+  // the same pool — progress relies on the submitting thread helping drain.
+  serve::EvalService svc(serve::EvalService::Options{2, 64});
+  std::vector<std::future<double>> futures;
+  for (int j = 0; j < 4; ++j)
+    futures.push_back(svc.submit([&svc, j] {
+      std::vector<double> vals(8, 0.0);
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < 8; ++i)
+        tasks.push_back([&vals, i, j] { vals[i] = 100.0 * j + i; });
+      svc.run(tasks);
+      double sum = 0.0;
+      for (double v : vals) sum += v;
+      return sum;
+    }));
+  for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(futures[j].get(), 800.0 * j + 28.0);
+}
+
+TEST(EvalService, BatchErrorsPropagateToSubmitter) {
+  serve::EvalService svc(serve::EvalService::Options{2, 64});
+  std::vector<std::function<void()>> tasks(3, [] {});
+  tasks[1] = [] { throw Error("candidate failed"); };
+  EXPECT_THROW(svc.run(tasks), Error);
+}
+
+TEST(Serve, RunQaoaBitIdenticalForAnyWorkerCount) {
+  const graph::Instance inst = graph::paper_task1();
+  const backend::FakeBackend& dev = toronto();
+  // SPSA submits 2-candidate batches every iteration — real fan-out.
+  const core::RunConfig cfg = tiny_config("spsa");
+  const core::RunResult inline_result =
+      core::run_qaoa(inst, dev, core::ModelKind::GateLevel, cfg);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    serve::EvalService svc(serve::EvalService::Options{workers, 1024});
+    const core::RunResult r = core::run_qaoa(inst, dev, core::ModelKind::GateLevel, cfg,
+                                             &svc, svc.block_cache());
+    expect_same_result(r, inline_result);
+  }
+}
+
+TEST(Serve, SweepMatchesSequentialExecutionBitExactly) {
+  const backend::FakeBackend& dev = toronto();
+  std::vector<serve::SweepJob> jobs;
+  jobs.push_back({"t1-gate-cobyla", graph::paper_task1(), &dev, core::ModelKind::GateLevel,
+                  tiny_config("cobyla")});
+  jobs.push_back({"t1-hybrid-spsa", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                  tiny_config("spsa")});
+  jobs.push_back({"t2-gate-nm", graph::paper_task2(), &dev, core::ModelKind::GateLevel,
+                  tiny_config("neldermead")});
+
+  std::vector<core::RunResult> sequential;
+  for (const serve::SweepJob& job : jobs)
+    sequential.push_back(core::run_qaoa(job.instance, *job.dev, job.kind, job.config));
+
+  serve::SweepRunner runner(serve::SweepRunner::Options{4, 4096});
+  const std::vector<core::RunResult> parallel = runner.run_all(jobs);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    expect_same_result(parallel[i], sequential[i]);
+  }
+  // The whole grid shares one compiled-block cache: re-bound blocks across
+  // iterations and runs must hit.
+  const serve::BlockCache::Stats stats = runner.cache_stats();
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(Serve, IdealExpectationBatchMatchesPointwise) {
+  const graph::Instance inst = graph::paper_task1();
+  std::vector<std::vector<double>> grid;
+  for (double gamma : {0.2, 0.5})
+    for (double beta : {0.1, 0.3}) grid.push_back({gamma, beta});
+
+  serve::EvalService svc(serve::EvalService::Options{3, 64});
+  const std::vector<double> batched =
+      core::ideal_qaoa_expectation_batch(inst.graph, 1, grid, &svc);
+  ASSERT_EQ(batched.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(batched[i], core::ideal_qaoa_expectation(inst.graph, 1, grid[i]));
+}
+
+TEST(Serve, VqeDispatcherMatchesInline) {
+  const la::PauliSum ham = core::tfim_hamiltonian(3, 1.0, 0.7);
+  const qc::Circuit ansatz = core::hardware_efficient_pqc(3, 1, "linear");
+  core::VqeConfig cfg;
+  cfg.max_evaluations = 40;
+  cfg.optimizer = "neldermead";
+  const core::VqeResult inline_result = core::run_vqe(ham, ansatz, cfg);
+  serve::EvalService svc(serve::EvalService::Options{4, 64});
+  const core::VqeResult pooled = core::run_vqe(ham, ansatz, cfg, &svc);
+  EXPECT_EQ(pooled.optimizer.x, inline_result.optimizer.x);
+  EXPECT_EQ(pooled.energy, inline_result.energy);
+  EXPECT_EQ(pooled.optimizer.history, inline_result.optimizer.history);
+}
