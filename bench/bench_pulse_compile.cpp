@@ -1,0 +1,140 @@
+// Compile-path cost of the hybrid model's block pipeline: the same hybrid
+// QAOA layer (problem segment + trainable pulse mixers) is compiled cold
+// (empty cache — every gate and pulse block runs the pulse-ODE simulator)
+// and warm (every block served from the shared serve::BlockCache), plus a
+// simulator-level measurement of CompiledSchedule reuse (compile-once IR vs.
+// re-lowering the schedule per call). Verifies counts are bit-identical
+// cache-on vs. cache-off and emits BENCH_pulse.json.
+//
+//   bench_pulse_compile [warm_iters]   (default 5)
+//   HGP_SHOTS                          shots for the bit-identical check
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "core/models.hpp"
+#include "graph/instances.hpp"
+#include "pulsesim/simulator.hpp"
+#include "serve/block_cache.hpp"
+
+using namespace hgp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t warm_iters = argc > 1 ? std::stoul(argv[1]) : 5;
+  const std::size_t shots = benchutil::env_or("HGP_SHOTS", 256);
+
+  const backend::FakeBackend dev = backend::make_toronto();
+  const graph::Instance inst = graph::paper_task1();
+  core::ModelConfig mcfg;
+  const core::QaoaModel model =
+      core::QaoaModel::build(inst.graph, dev, core::ModelKind::Hybrid, mcfg);
+  const core::Program prog = model.instantiate(model.initial_parameters());
+
+  benchutil::header("block-compilation pipeline — hybrid layer, cold vs. warm cache");
+  std::printf("%zu ops (%zu pulse-block plays), %zu warm iterations\n\n", prog.ops.size(),
+              prog.pulse_block_play_count(), warm_iters);
+
+  auto cache = std::make_shared<serve::BlockCache>(4096);
+  core::ExecutorOptions opts;
+  opts.block_cache = cache;
+  opts.num_threads = 1;
+  core::Executor ex(dev, opts);
+
+  // Cold: every block compiles through the pulse simulator. One shot keeps
+  // the measurement compile-dominated.
+  Rng rng(1);
+  const auto t_cold = std::chrono::steady_clock::now();
+  ex.run(prog, 1, rng);
+  const double cold_s = seconds_since(t_cold);
+
+  // Warm: the identical program (a repeated candidate angle) — every gate
+  // and pulse block is served from the cache.
+  const auto t_warm = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < warm_iters; ++i) ex.run(prog, 1, rng);
+  const double warm_s = seconds_since(t_warm) / static_cast<double>(warm_iters);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  const serve::BlockCache::Stats cache_stats = ex.cache_stats();
+
+  // Bit-identical check: warm shared cache vs. fresh private caches.
+  Rng warm_rng(42), cold_rng(42);
+  const sim::Counts warm_counts = ex.run(prog, shots, warm_rng);
+  core::ExecutorOptions fresh_opts;
+  fresh_opts.num_threads = 1;
+  core::Executor fresh(dev, fresh_opts);
+  const sim::Counts cold_counts = fresh.run(prog, shots, cold_rng);
+  const bool identical = warm_counts == cold_counts;
+
+  // CompiledSchedule reuse at the simulator layer: lower a mixer-style
+  // schedule (frame knobs around a 320dt Gaussian, as QaoaModel emits) once
+  // and reuse the IR vs. re-lowering per evolve.
+  pulse::Schedule mixer("mixer");
+  const pulse::Channel d0 = pulse::Channel::drive(0);
+  mixer.append(pulse::ShiftPhase{0.1, d0});
+  mixer.append(pulse::ShiftFrequency{0.01, d0});
+  mixer.append(pulse::Play{
+      pulse::PulseShape::gaussian(mcfg.mixer_duration_dt, 0.2, mcfg.mixer_duration_dt / 4.0),
+      d0});
+  mixer.append(pulse::ShiftFrequency{-0.01, d0});
+  mixer.append(pulse::ShiftPhase{-0.1, d0});
+  backend::FakeBackend::Subsystem sub = dev.subsystem({0}, true);
+  const pulse::Schedule local = backend::FakeBackend::remap_schedule(mixer, sub.remap);
+  const psim::PulseSimulator sim(std::move(sub.system));
+  la::CVec psi0(2, la::cxd{0.0, 0.0});
+  psi0[0] = 1.0;
+  constexpr int kEvolves = 50;
+
+  const auto t_percall = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvolves; ++i) sim.evolve(local, psi0);
+  const double percall_s = seconds_since(t_percall) / kEvolves;
+
+  const psim::CompiledSchedule cs = sim.compile(local);
+  const auto t_reuse = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvolves; ++i) sim.evolve(cs, psi0);
+  const double reuse_s = seconds_since(t_reuse) / kEvolves;
+  const double ir_speedup = reuse_s > 0.0 ? percall_s / reuse_s : 0.0;
+
+  std::printf("cold compile  %.4f s\nwarm compile  %.4f s  (%.1fx)\n", cold_s, warm_s,
+              speedup);
+  std::printf("pulse blocks: %llu hits / %llu misses (hit rate %.1f%%); gate blocks: "
+              "%llu hits / %llu misses\n",
+              static_cast<unsigned long long>(cache_stats.pulse_hits),
+              static_cast<unsigned long long>(cache_stats.pulse_misses),
+              100.0 * cache_stats.pulse_hit_rate(),
+              static_cast<unsigned long long>(cache_stats.gate_hits),
+              static_cast<unsigned long long>(cache_stats.gate_misses));
+  std::printf("CompiledSchedule reuse: %.1f us/evolve vs %.1f us re-lowered (%.1fx)\n",
+              1e6 * reuse_s, 1e6 * percall_s, ir_speedup);
+  std::printf("counts bit-identical cache-on vs cache-off: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_pulse.json");
+  json << "{\n"
+       << "  \"bench\": \"pulse_compile\",\n"
+       << "  \"ops\": " << prog.ops.size() << ",\n"
+       << "  \"warm_iters\": " << warm_iters << ",\n"
+       << "  \"cold_s\": " << cold_s << ",\n"
+       << "  \"warm_s\": " << warm_s << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"ir_evolve_reused_s\": " << reuse_s << ",\n"
+       << "  \"ir_evolve_relowered_s\": " << percall_s << ",\n"
+       << "  \"ir_speedup\": " << ir_speedup << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"cache\": {\"pulse_hits\": " << cache_stats.pulse_hits
+       << ", \"pulse_misses\": " << cache_stats.pulse_misses
+       << ", \"gate_hits\": " << cache_stats.gate_hits
+       << ", \"gate_misses\": " << cache_stats.gate_misses
+       << ", \"pulse_hit_rate\": " << cache_stats.pulse_hit_rate() << "}\n"
+       << "}\n";
+  std::printf("wrote BENCH_pulse.json\n");
+  return identical ? 0 : 1;
+}

@@ -86,6 +86,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses), 100.0 * cache.hit_rate(),
               static_cast<unsigned long long>(cache.evictions));
+  std::printf("  by kind: gate %llu/%llu, pulse %llu/%llu (hybrid mixers)\n",
+              static_cast<unsigned long long>(cache.gate_hits),
+              static_cast<unsigned long long>(cache.gate_misses),
+              static_cast<unsigned long long>(cache.pulse_hits),
+              static_cast<unsigned long long>(cache.pulse_misses));
 
   std::ofstream json("BENCH_sweep.json");
   json << "{\n"
@@ -100,7 +105,9 @@ int main(int argc, char** argv) {
        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"cache\": {\"hits\": " << cache.hits << ", \"misses\": " << cache.misses
        << ", \"evictions\": " << cache.evictions << ", \"hit_rate\": " << cache.hit_rate()
-       << "}\n"
+       << ", \"gate_hits\": " << cache.gate_hits << ", \"gate_misses\": " << cache.gate_misses
+       << ", \"pulse_hits\": " << cache.pulse_hits
+       << ", \"pulse_misses\": " << cache.pulse_misses << "}\n"
        << "}\n";
   std::printf("wrote BENCH_sweep.json\n");
   return identical ? 0 : 1;

@@ -42,16 +42,17 @@ bool is_virtual_gate(qc::GateKind k) {
   }
 }
 
-/// Count drive-channel and control-channel plays in a schedule (the noise
-/// charge units).
-void count_plays(const pulse::Schedule& sched, std::size_t& drive_plays,
-                 std::size_t& cr_halves) {
-  drive_plays = 0;
-  cr_halves = 0;
+/// Single source of truth for the schedule-derived block bookkeeping shared
+/// by the gate and pulse lowering paths: timeline duration plus the noise
+/// charge units (drive-channel and control-channel play counts).
+void fill_schedule_metadata(CompiledBlock& block, const pulse::Schedule& sched) {
+  block.duration_dt = sched.duration();
+  block.drive_plays = 0;
+  block.cr_halves = 0;
   for (const pulse::TimedInstruction& ti : sched.instructions()) {
     if (const auto* play = std::get_if<pulse::Play>(&ti.inst)) {
-      if (play->channel.type == pulse::ChannelType::Drive) ++drive_plays;
-      if (play->channel.type == pulse::ChannelType::Control) ++cr_halves;
+      if (play->channel.type == pulse::ChannelType::Drive) ++block.drive_plays;
+      if (play->channel.type == pulse::ChannelType::Control) ++block.cr_halves;
     }
   }
 }
@@ -198,7 +199,9 @@ CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
   const int stride =
       qubits.size() == 1 ? 1 : (has_frequency_instruction(local) ? 2 : 4);
   const psim::PulseSimulator sim(std::move(sub.system), psim::Integrator::Exact, 1, stride);
-  CMat u = sim.unitary(local);
+  // Column-batched propagator over the compiled-schedule IR: the schedule is
+  // indexed and its step propagators built exactly once per block.
+  CMat u = sim.propagator(local);
 
   // Undo deferred virtual-Z frames so the block unitary is self-contained.
   for (std::size_t i = 0; i < qubits.size(); ++i) {
@@ -213,11 +216,25 @@ CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
   return u;
 }
 
-CompiledBlock Executor::compile_gate(const qc::Op& op) {
-  CompiledBlock block;
-  block.qubits = op.qubits;
+CompiledBlock Executor::compile_block(const ExecOp& op) {
+  if (!op.is_pulse) return compile_gate(op.gate);
+  // Raw pulse block (the hybrid/pulse-level models' trainable layers): the
+  // structure key is the schedule's canonical content fingerprint, so a
+  // parametric schedule rebound at a repeated candidate angle keys
+  // identically while a nearby amplitude gets its own slot.
+  std::ostringstream key;
+  key << "pulse";
+  for (std::size_t q : op.qubits) key << "," << q;
+  key << ",fp=" << std::hex << op.schedule.fingerprint() << std::dec
+      << ",dur=" << op.schedule.duration();
+  return lower_schedule_block(key.str(), serve::BlockKind::Pulse, op.schedule, op.qubits,
+                              nullptr, false);
+}
 
+CompiledBlock Executor::compile_gate(const qc::Op& op) {
   if (is_virtual_gate(op.kind)) {
+    CompiledBlock block;
+    block.qubits = op.qubits;
     block.unitary = qc::gate_matrix(op.kind, op.constant_params());
     block.virtual_only = true;
     return block;
@@ -225,6 +242,8 @@ CompiledBlock Executor::compile_gate(const qc::Op& op) {
   if (op.kind == qc::GateKind::Delay) {
     // Timed identity: thermal relaxation and coherent frame drift act over
     // its span (it behaves exactly like idle time, which is what DD slices).
+    CompiledBlock block;
+    block.qubits = op.qubits;
     block.unitary = la::CMat::identity(2);
     block.duration_dt = static_cast<int>(op.params[0].value());
     block.explicit_idle = true;
@@ -266,33 +285,39 @@ CompiledBlock Executor::compile_gate(const qc::Op& op) {
   // re-calibrated schedule at the same angle but a different stretch).
   key << ",dur=" << sched.duration();
 
-  const std::string cache_key = key_prefix_ + key.str();
-  if (const auto cached = cache_->find(cache_key)) return *cached;
+  la::CMat exact;
+  const bool coherent = options_.noise && options_.coherent_noise;
+  if (!coherent) exact = qc::gate_matrix(op.kind, op.constant_params());
+  return lower_schedule_block(key.str(), serve::BlockKind::Gate, sched, op.qubits,
+                              coherent ? nullptr : &exact,
+                              op.kind == qc::GateKind::CX || op.kind == qc::GateKind::RZZ);
+}
 
-  count_plays(sched, block.drive_plays, block.cr_halves);
-  block.duration_dt = sched.duration();
-  if (options_.noise && options_.coherent_noise) {
-    block.unitary = simulate_block(sched, op.qubits);
-    if (op.kind == qc::GateKind::CX || op.kind == qc::GateKind::RZZ) {
+CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
+                                             serve::BlockKind kind,
+                                             const pulse::Schedule& sched,
+                                             const std::vector<std::size_t>& qubits,
+                                             const la::CMat* exact_unitary,
+                                             bool fold_cx_phase_defect) {
+  const std::string cache_key = key_prefix_ + structure_key;
+  if (const auto cached = cache_->find(cache_key, kind)) return *cached;
+
+  CompiledBlock block;
+  block.qubits = qubits;
+  fill_schedule_metadata(block, sched);
+  if (exact_unitary != nullptr) {
+    block.unitary = *exact_unitary;
+  } else {
+    block.unitary = simulate_block(sched, qubits);
+    if (fold_cx_phase_defect) {
       // Fold in the static phase defect of the two-qubit calibration.
-      const auto [phi_c, phi_t] = dev_.cx_phase_error(op.qubits[0], op.qubits[1]);
+      const auto [phi_c, phi_t] = dev_.cx_phase_error(qubits[0], qubits[1]);
       block.unitary = la::kron(qc::gate_matrix(qc::GateKind::RZ, {phi_t}),
                                qc::gate_matrix(qc::GateKind::RZ, {phi_c})) *
                       block.unitary;
     }
-  } else {
-    block.unitary = qc::gate_matrix(op.kind, op.constant_params());
   }
   cache_->insert(cache_key, block);
-  return block;
-}
-
-CompiledBlock Executor::compile_pulse(const ExecOp& op) {
-  CompiledBlock block;
-  block.qubits = op.qubits;
-  block.duration_dt = op.schedule.duration();
-  count_plays(op.schedule, block.drive_plays, block.cr_halves);
-  block.unitary = simulate_block(op.schedule, op.qubits);
   return block;
 }
 
@@ -331,7 +356,7 @@ Executor::CompiledProgram Executor::compile_program(const Program& program,
     }
     if (!op.is_pulse && op.gate.kind == qc::GateKind::Measure) continue;
     Scheduled s;
-    s.block = op.is_pulse ? compile_pulse(op) : compile_gate(op.gate);
+    s.block = compile_block(op);
     for (std::size_t q : s.block.qubits) s.local.push_back(local_of.at(q));
 
     if (s.block.virtual_only && s.local.size() == 1) {

@@ -103,8 +103,26 @@ class Executor {
     int makespan_dt = 0;
   };
 
+  /// The single block-lowering entry point: every program step — gate or
+  /// pulse — routes through here. Virtual (free diagonal) gates and explicit
+  /// delays compile to exact matrices without touching the cache; everything
+  /// else builds a structure key (gate kind + hexfloat parameters, or the
+  /// pulse schedule's content fingerprint) and goes through
+  /// lower_schedule_block's cached path.
+  CompiledBlock compile_block(const ExecOp& op);
+  /// Gate front-end of compile_block: resolves the calibrated schedule and
+  /// the structure key for a native gate, then lowers through the shared
+  /// cached path.
   CompiledBlock compile_gate(const qc::Op& op);
-  CompiledBlock compile_pulse(const ExecOp& op);
+  /// Shared lowering tail for every schedule-backed block: cache lookup
+  /// under key_prefix_ + structure_key, else simulate (or take the exact
+  /// unitary when pulse-accurate compilation is off), fill the
+  /// schedule-derived metadata, and insert. `fold_cx_phase_defect` folds the
+  /// backend's static two-qubit phase error into simulated CX/RZZ blocks.
+  CompiledBlock lower_schedule_block(const std::string& structure_key, serve::BlockKind kind,
+                                     const pulse::Schedule& sched,
+                                     const std::vector<std::size_t>& qubits,
+                                     const la::CMat* exact_unitary, bool fold_cx_phase_defect);
   la::CMat simulate_block(const pulse::Schedule& physical_sched,
                           const std::vector<std::size_t>& qubits) const;
 

@@ -1,11 +1,23 @@
 #include "pulse/schedule.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
+#include <tuple>
 
 #include "common/error.hpp"
 
 namespace hgp::pulse {
+
+namespace {
+
+void append_hex(std::string& out, const char* tag, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%a", tag, v);
+  out += buf;
+}
+
+}  // namespace
 
 Channel instruction_channel(const Instruction& inst) {
   return std::visit(
@@ -99,6 +111,64 @@ std::size_t Schedule::play_count() const {
       std::count_if(instructions_.begin(), instructions_.end(), [](const TimedInstruction& ti) {
         return std::holds_alternative<Play>(ti.inst);
       }));
+}
+
+std::uint64_t Schedule::fingerprint() const {
+  struct Record {
+    int t0;
+    Channel channel;
+    std::string text;
+  };
+  std::vector<Record> records;
+  records.reserve(instructions_.size());
+  for (const TimedInstruction& ti : instructions_) {
+    Record r;
+    r.t0 = ti.t0;
+    r.channel = instruction_channel(ti.inst);
+    std::visit(
+        [&r](const auto& i) {
+          using T = std::decay_t<decltype(i)>;
+          if constexpr (std::is_same_v<T, Play>)
+            r.text = "P" + i.shape.key_str();
+          else if constexpr (std::is_same_v<T, Delay>)
+            r.text = "D" + std::to_string(i.duration);
+          else if constexpr (std::is_same_v<T, ShiftPhase>)
+            append_hex(r.text, "p+", i.phase);
+          else if constexpr (std::is_same_v<T, SetPhase>)
+            append_hex(r.text, "p=", i.phase);
+          else if constexpr (std::is_same_v<T, ShiftFrequency>)
+            append_hex(r.text, "f+", i.freq_ghz);
+          else if constexpr (std::is_same_v<T, SetFrequency>)
+            append_hex(r.text, "f=", i.freq_ghz);
+          else  // Acquire
+            r.text = "A" + std::to_string(i.duration);
+        },
+        ti.inst);
+    records.push_back(std::move(r));
+  }
+  // Canonical order: (t0, channel), stable within a channel. Instructions on
+  // distinct channels at one t0 commute (independent frames, additive drive
+  // terms), so interleaving differences across channels must not change the
+  // key; same-channel order is semantics (SetPhase then ShiftPhase != the
+  // reverse) and is preserved.
+  std::stable_sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    return std::tie(a.t0, a.channel) < std::tie(b.t0, b.channel);
+  });
+
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (const Record& r : records) {
+    mix(std::to_string(r.t0));
+    mix(r.channel.str());
+    mix(r.text);
+    mix(";");
+  }
+  return h;
 }
 
 void Schedule::keep_sorted() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <variant>
@@ -101,6 +102,18 @@ class Schedule {
 
   /// Number of Play instructions (a proxy for "pulse count" error costing).
   std::size_t play_count() const;
+
+  /// Canonical content fingerprint of the pulse program: a 64-bit FNV-1a
+  /// hash over start times, channels, instruction kinds, durations, and
+  /// exact (hexfloat) shape/frame parameters — the same collision
+  /// discipline as the executor's hexfloat gate-theta keys, so a parametric
+  /// schedule rebound at a nearby amplitude never reuses another angle's
+  /// slot. Order-stable: instructions are canonically ordered by
+  /// (t0, channel) while preserving same-channel program order (the only
+  /// order with physical meaning), so schedules assembled by different
+  /// append sequences fingerprint identically iff they realize the same
+  /// program. The name is cosmetic and excluded.
+  std::uint64_t fingerprint() const;
 
   /// Multi-line ASCII rendering: one row per channel with pulse boxes.
   std::string draw() const;

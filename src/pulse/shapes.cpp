@@ -1,6 +1,7 @@
 #include "pulse/shapes.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -146,6 +147,15 @@ PulseShape PulseShape::with_duration(int duration) const {
   p.sigma_ = sigma_ * ratio;
   p.width_ = width_ * ratio;
   return p;
+}
+
+std::string PulseShape::key_str() const {
+  // One hexfloat ("%a") field per parameter: bitwise-exact round trip, so a
+  // fingerprint built from this never merges distinct envelopes.
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "k%d,d%d,%a,%a,%a,%a,%a", static_cast<int>(kind_),
+                duration_, amp_, sigma_, width_, beta_, angle_);
+  return buf;
 }
 
 std::string PulseShape::str() const {

@@ -54,6 +54,11 @@ class PulseShape {
   PulseShape with_duration(int duration) const;
 
   std::string str() const;
+  /// Exact key rendering for cache fingerprints: unlike str(), which uses
+  /// the default 6-significant-digit ostream formatting for display, every
+  /// parameter is hexfloat-formatted (lossless), so nearby amplitudes or
+  /// angles can never collide on one cache slot.
+  std::string key_str() const;
 
  private:
   ShapeKind kind_ = ShapeKind::Constant;

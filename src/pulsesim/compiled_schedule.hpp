@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hgp::psim {
+
+/// Integration scheme. `Exact` treats the Hamiltonian as piecewise constant
+/// over each dt sample (exactly how the AWG emits the envelope) and applies
+/// the exact matrix exponential per sample; `Rk4` is a classic fixed-step
+/// integrator used to cross-validate the propagator in tests.
+enum class Integrator { Exact, Rk4 };
+
+/// One piecewise-constant integration step of a compiled schedule.
+struct CompiledStep {
+  double tau = 0.0;        // integration span: 2π · dt · samples
+  bool has_drive = false;  // any channel playing during the step
+  /// Sampled Hamiltonian held constant over the step. Released (emptied)
+  /// once the step's propagator is precomputed — under the Exact integrator
+  /// the IR keeps only the propagators, halving a reused IR's footprint.
+  la::CMat h;
+};
+
+/// A pulse schedule lowered to the simulator's intermediate representation.
+///
+/// Compilation resolves the schedule once — per-channel play timelines,
+/// frame-event walk (phase/frequency bookkeeping), envelope sampling, and
+/// the per-step sampled Hamiltonians — and, for the Exact integrator, also
+/// precomputes every step propagator (idle steps share one matrix
+/// exponential). Time-stepping a state through the IR is then a plain
+/// sequence of small matrix applies: no schedule re-indexing, no propagator
+/// rebuilds. One compiled schedule serves repeated evolve() calls and the
+/// column-batched propagator() equally, which is what makes the executor's
+/// pulse-block compilation cacheable end to end.
+class CompiledSchedule {
+ public:
+  int duration_dt() const { return duration_; }
+  std::size_t num_steps() const { return steps_.size(); }
+  /// Which integrator this IR was compiled for (evolve/propagator require a
+  /// matching simulator).
+  Integrator integrator() const { return integrator_; }
+  const std::vector<CompiledStep>& steps() const { return steps_; }
+  /// Per-step exact propagators, parallel to steps(). Under RK4 only the
+  /// idle (no-drive) steps carry one — drive steps integrate from the
+  /// sampled Hamiltonian and their slots are empty matrices.
+  const std::vector<la::CMat>& step_propagators() const { return props_; }
+
+ private:
+  friend class PulseSimulator;
+  int duration_ = 0;
+  Integrator integrator_ = Integrator::Exact;
+  std::vector<CompiledStep> steps_;
+  std::vector<la::CMat> props_;
+};
+
+}  // namespace hgp::psim

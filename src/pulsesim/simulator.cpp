@@ -65,6 +65,32 @@ CMat step_propagator(const CMat& h, double tau) {
   return la::expm_ih(h, tau);
 }
 
+/// One RK4 pass over a constant Hamiltonian span (`substeps` steps).
+void rk4_apply(const CMat& h, double tau, int substeps, CVec& psi) {
+  const double hstep = tau / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    const cxd mi{0.0, -1.0};
+    CVec k1 = h * psi;
+    la::scale(mi, k1);
+    CVec tmp = psi;
+    la::axpy(cxd{hstep / 2.0, 0.0}, k1, tmp);
+    CVec k2 = h * tmp;
+    la::scale(mi, k2);
+    tmp = psi;
+    la::axpy(cxd{hstep / 2.0, 0.0}, k2, tmp);
+    CVec k3 = h * tmp;
+    la::scale(mi, k3);
+    tmp = psi;
+    la::axpy(cxd{hstep, 0.0}, k3, tmp);
+    CVec k4 = h * tmp;
+    la::scale(mi, k4);
+    la::axpy(cxd{hstep / 6.0, 0.0}, k1, psi);
+    la::axpy(cxd{hstep / 3.0, 0.0}, k2, psi);
+    la::axpy(cxd{hstep / 3.0, 0.0}, k3, psi);
+    la::axpy(cxd{hstep / 6.0, 0.0}, k4, psi);
+  }
+}
+
 }  // namespace
 
 PulseSimulator::PulseSimulator(PulseSystem system, Integrator integrator, int substeps,
@@ -77,9 +103,9 @@ PulseSimulator::PulseSimulator(PulseSystem system, Integrator integrator, int su
   HGP_REQUIRE(sample_stride >= 1, "PulseSimulator: sample_stride must be >= 1");
 }
 
-CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
-  HGP_REQUIRE(psi.size() == system_.dim(), "evolve: state dimension mismatch");
-  const int duration = sched.duration();
+CompiledSchedule PulseSimulator::compile(const pulse::Schedule& sched) const {
+  CompiledSchedule cs;
+  cs.duration_ = sched.duration();
   const double dt = pulse::kDtNs;
 
   // Index the schedule: frame events and plays, per wired channel.
@@ -109,20 +135,13 @@ CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
     std::stable_sort(v.begin(), v.end(),
                      [](const ActivePlay& a, const ActivePlay& b) { return a.t0 < b.t0; });
 
-  // Idle propagator (no drives this sample) can be reused.
   const double tau_sample = 2.0 * la::kPi * dt;
-  CMat idle = step_propagator(system_.static_hamiltonian(), tau_sample * sample_stride_);
-  CMat idle_one = sample_stride_ == 1
-                      ? idle
-                      : step_propagator(system_.static_hamiltonian(), tau_sample);
-
   std::size_t next_event = 0;
   std::map<pulse::Channel, std::size_t> play_cursor;
 
-  auto apply = [&](const CMat& u, CVec& v) { v = u * v; };
-
-  for (int t = 0; t < duration; t += sample_stride_) {
-    const int step = std::min(sample_stride_, duration - t);
+  cs.steps_.reserve(static_cast<std::size_t>(cs.duration_ / sample_stride_) + 1);
+  for (int t = 0; t < cs.duration_; t += sample_stride_) {
+    const int step = std::min(sample_stride_, cs.duration_ - t);
     const double t_ns = t * dt;
     // Apply frame events scheduled at or before this sample boundary.
     while (next_event < frame_events.size() && frame_events[next_event].t0 <= t) {
@@ -146,7 +165,8 @@ CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
     }
 
     // Sum the active channel drives at this sample.
-    bool any_drive = false;
+    CompiledStep cstep;
+    cstep.tau = tau_sample * step;
     CMat h = system_.static_hamiltonian();
     for (auto& [channel, channel_plays] : plays) {
       std::size_t& cur = play_cursor[channel];
@@ -163,54 +183,85 @@ CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
       s *= op->gain;
       h += op->x_quad * cxd{s.real(), 0.0} + op->y_quad * cxd{s.imag(), 0.0};
       if (!op->sq_quad.empty()) h += op->sq_quad * cxd{std::norm(s), 0.0};
-      any_drive = true;
+      cstep.has_drive = true;
     }
+    cstep.h = std::move(h);
+    cs.steps_.push_back(std::move(cstep));
+  }
 
-    const double tau = tau_sample * step;
-    if (!any_drive) {
-      apply(step == sample_stride_ ? idle : (step == 1 ? idle_one : step_propagator(h, tau)),
-            psi);
+  // Precompute step propagators: every step under Exact, idle steps only
+  // under RK4 (drive steps integrate from the sampled Hamiltonian). Idle
+  // steps share one exponential of the static Hamiltonian per span length.
+  // Once a step has its propagator, the Hamiltonian is dead weight and is
+  // released, so a long-lived reused IR holds one matrix per step.
+  cs.integrator_ = integrator_;
+  const double tau_full = tau_sample * sample_stride_;
+  CMat idle_full, idle_tail;
+  cs.props_.reserve(cs.steps_.size());
+  for (CompiledStep& st : cs.steps_) {
+    if (st.has_drive) {
+      if (integrator_ != Integrator::Exact) {
+        cs.props_.emplace_back();
+        continue;
+      }
+      cs.props_.push_back(step_propagator(st.h, st.tau));
+    } else {
+      CMat& idle = st.tau == tau_full ? idle_full : idle_tail;
+      if (idle.empty()) idle = step_propagator(st.h, st.tau);
+      cs.props_.push_back(idle);
+    }
+    st.h = CMat();
+  }
+  return cs;
+}
+
+CVec PulseSimulator::evolve(const CompiledSchedule& cs, CVec psi) const {
+  HGP_REQUIRE(psi.size() == system_.dim(), "evolve: state dimension mismatch");
+  HGP_REQUIRE(cs.integrator() == integrator_,
+              "evolve: schedule was compiled for a different integrator");
+  if (integrator_ == Integrator::Exact) {
+    for (const CMat& p : cs.props_) psi = p * psi;
+    return psi;
+  }
+  for (std::size_t i = 0; i < cs.steps_.size(); ++i) {
+    const CompiledStep& st = cs.steps_[i];
+    if (!st.has_drive) {
+      // Idle spans stay exact — precompiled (the static Hamiltonian is
+      // constant anyway).
+      psi = cs.props_[i] * psi;
       continue;
     }
-
-    if (integrator_ == Integrator::Exact) {
-      apply(step_propagator(h, tau), psi);
-    } else {
-      // RK4 with piecewise-constant H over the sample, `substeps_` steps.
-      const double hstep = tau / substeps_;
-      for (int s = 0; s < substeps_; ++s) {
-        const cxd mi{0.0, -1.0};
-        CVec k1 = h * psi;
-        la::scale(mi, k1);
-        CVec tmp = psi;
-        la::axpy(cxd{hstep / 2.0, 0.0}, k1, tmp);
-        CVec k2 = h * tmp;
-        la::scale(mi, k2);
-        tmp = psi;
-        la::axpy(cxd{hstep / 2.0, 0.0}, k2, tmp);
-        CVec k3 = h * tmp;
-        la::scale(mi, k3);
-        tmp = psi;
-        la::axpy(cxd{hstep, 0.0}, k3, tmp);
-        CVec k4 = h * tmp;
-        la::scale(mi, k4);
-        la::axpy(cxd{hstep / 6.0, 0.0}, k1, psi);
-        la::axpy(cxd{hstep / 3.0, 0.0}, k2, psi);
-        la::axpy(cxd{hstep / 3.0, 0.0}, k3, psi);
-        la::axpy(cxd{hstep / 6.0, 0.0}, k4, psi);
-      }
-    }
+    rk4_apply(st.h, st.tau, substeps_, psi);
   }
   return psi;
 }
 
+CVec PulseSimulator::evolve(const pulse::Schedule& sched, CVec psi) const {
+  return evolve(compile(sched), std::move(psi));
+}
+
+CMat PulseSimulator::propagator(const CompiledSchedule& cs) const {
+  HGP_REQUIRE(cs.integrator() == Integrator::Exact && integrator_ == Integrator::Exact,
+              "propagator: requires the Exact integrator (use evolve for RK4)");
+  CMat u = CMat::identity(system_.dim());
+  for (const CMat& p : cs.props_) u = p * u;
+  return u;
+}
+
+CMat PulseSimulator::propagator(const pulse::Schedule& sched) const {
+  return propagator(compile(sched));
+}
+
 CMat PulseSimulator::unitary(const pulse::Schedule& sched) const {
+  const CompiledSchedule cs = compile(sched);
+  if (integrator_ == Integrator::Exact) return propagator(cs);
+  // RK4 cross-validation: integrate each basis column over the shared IR.
   const std::size_t dim = system_.dim();
   CMat u(dim, dim);
   for (std::size_t col = 0; col < dim; ++col) {
     CVec e(dim, cxd{0.0, 0.0});
     e[col] = 1.0;
-    const CVec out = evolve(sched, std::move(e));
+    const CVec out = evolve(cs, std::move(e));
     for (std::size_t row = 0; row < dim; ++row) u(row, col) = out[row];
   }
   return u;

@@ -3,18 +3,19 @@
 #include "linalg/matrix.hpp"
 #include "linalg/types.hpp"
 #include "pulse/schedule.hpp"
+#include "pulsesim/compiled_schedule.hpp"
 #include "pulsesim/system.hpp"
 
 namespace hgp::psim {
 
-/// Integration scheme. `Exact` treats the Hamiltonian as piecewise constant
-/// over each dt sample (exactly how the AWG emits the envelope) and applies
-/// the exact matrix exponential per sample; `Rk4` is a classic fixed-step
-/// integrator used to cross-validate the propagator in tests.
-enum class Integrator { Exact, Rk4 };
-
 /// Time-dependent Schrödinger solver for pulse schedules:
 ///     dψ/dt = -i 2π H(t) ψ,   H in GHz, t in ns.
+///
+/// All entry points run through the CompiledSchedule IR: compile() lowers a
+/// schedule once (indexing, frame walk, sampled Hamiltonians, precomputed
+/// step propagators), and evolve()/propagator() are cheap passes over that
+/// IR. The schedule-taking overloads compile on the fly; callers that evolve
+/// one schedule repeatedly should compile once and reuse.
 class PulseSimulator {
  public:
   /// `sample_stride` > 1 holds the Hamiltonian constant over that many dt
@@ -26,10 +27,23 @@ class PulseSimulator {
 
   const PulseSystem& system() const { return system_; }
 
-  /// Evolve ψ0 through the schedule; returns the final state. Channels the
-  /// system does not wire (measure/acquire) are ignored.
-  la::CVec evolve(const pulse::Schedule& sched, la::CVec psi0) const;
-  /// Full unitary of the schedule (columns = evolved basis states).
+  /// Lower a schedule to the IR. Channels the system does not wire
+  /// (measure/acquire) are ignored.
+  CompiledSchedule compile(const pulse::Schedule& sched) const;
+
+  /// Evolve ψ0 through a compiled schedule; returns the final state.
+  la::CVec evolve(const CompiledSchedule& cs, la::CVec psi) const;
+  /// Convenience: compile + evolve in one call.
+  la::CVec evolve(const pulse::Schedule& sched, la::CVec psi) const;
+
+  /// Full unitary of a compiled schedule, built column-batched: the product
+  /// of the precomputed step propagators advances all basis columns at once
+  /// instead of re-integrating the schedule once per column. Requires the
+  /// Exact integrator (the executor's block-compilation path).
+  la::CMat propagator(const CompiledSchedule& cs) const;
+  la::CMat propagator(const pulse::Schedule& sched) const;
+  /// Full unitary under the configured integrator: Exact = propagator();
+  /// Rk4 = column-at-a-time integration over the IR (cross-validation).
   la::CMat unitary(const pulse::Schedule& sched) const;
 
  private:

@@ -8,14 +8,15 @@ BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
   HGP_REQUIRE(capacity >= 1, "BlockCache: capacity must be positive");
 }
 
-std::shared_ptr<const core::CompiledBlock> BlockCache::find(const std::string& key) {
+std::shared_ptr<const core::CompiledBlock> BlockCache::find(const std::string& key,
+                                                            BlockKind kind) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++misses_;
+    ++(kind == BlockKind::Pulse ? pulse_misses_ : gate_misses_);
     return nullptr;
   }
-  ++hits_;
+  ++(kind == BlockKind::Pulse ? pulse_hits_ : gate_hits_);
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.block;
 }
@@ -43,8 +44,12 @@ std::shared_ptr<const core::CompiledBlock> BlockCache::insert(const std::string&
 BlockCache::Stats BlockCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
+  s.gate_hits = gate_hits_;
+  s.gate_misses = gate_misses_;
+  s.pulse_hits = pulse_hits_;
+  s.pulse_misses = pulse_misses_;
+  s.hits = gate_hits_ + pulse_hits_;
+  s.misses = gate_misses_ + pulse_misses_;
   s.evictions = evictions_;
   s.size = map_.size();
   s.capacity = capacity_;

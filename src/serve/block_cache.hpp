@@ -11,22 +11,36 @@
 
 namespace hgp::serve {
 
+/// What kind of program step a cached block was compiled from. Gate blocks
+/// key on (gate kind, qubits, exact parameters, schedule duration); pulse
+/// blocks key on the physical qubits plus the schedule's content
+/// fingerprint. The cache treats both uniformly — the kind only routes the
+/// per-kind hit/miss accounting, so a sweep's stats show whether the
+/// expensive pulse-ODE compilations (the hybrid model's trainable mixer
+/// layers) are actually being shared.
+enum class BlockKind { Gate, Pulse };
+
 /// Thread-safe, LRU-bounded map from structure keys to compiled blocks.
 ///
 /// The key encodes everything a block's unitary depends on — backend
 /// fingerprint, compile options, gate kind, physical qubits, exact
-/// (hexfloat) parameters, and schedule duration — so one cache can be shared
-/// process-wide: across optimizer candidates of one run, across COBYLA
-/// iterations (only parameter-bearing blocks recompile), and across the
-/// concurrent runs of a sweep. Values are immutable and handed out as
-/// shared_ptr, so eviction never invalidates a block another thread is
-/// still holding.
+/// (hexfloat) parameters, schedule fingerprint, and schedule duration — so
+/// one cache can be shared process-wide: across optimizer candidates of one
+/// run, across COBYLA iterations (only parameter-bearing blocks recompile),
+/// and across the concurrent runs of a sweep (including the pulse mixer
+/// blocks of hybrid runs at repeated candidate angles). Values are
+/// immutable and handed out as shared_ptr, so eviction never invalidates a
+/// block another thread is still holding.
 class BlockCache {
  public:
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;    // total = gate + pulse
+    std::uint64_t misses = 0;  // total = gate + pulse
     std::uint64_t evictions = 0;
+    std::uint64_t gate_hits = 0;
+    std::uint64_t gate_misses = 0;
+    std::uint64_t pulse_hits = 0;
+    std::uint64_t pulse_misses = 0;
     std::size_t size = 0;
     std::size_t capacity = 0;
 
@@ -34,12 +48,18 @@ class BlockCache {
       const std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
     }
+    double pulse_hit_rate() const {
+      const std::uint64_t total = pulse_hits + pulse_misses;
+      return total == 0 ? 0.0 : static_cast<double>(pulse_hits) / static_cast<double>(total);
+    }
   };
 
   explicit BlockCache(std::size_t capacity = 4096);
 
-  /// Look up a block, refreshing its LRU position. Null on miss.
-  std::shared_ptr<const core::CompiledBlock> find(const std::string& key);
+  /// Look up a block, refreshing its LRU position. Null on miss. `kind`
+  /// selects which per-kind hit/miss counters the lookup charges.
+  std::shared_ptr<const core::CompiledBlock> find(const std::string& key,
+                                                  BlockKind kind = BlockKind::Gate);
 
   /// Insert (or refresh) a block and return the cached instance. Two workers
   /// racing to compile the same key both insert identical blocks — last one
@@ -61,8 +81,10 @@ class BlockCache {
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> map_;
   std::size_t capacity_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::uint64_t gate_hits_ = 0;
+  std::uint64_t gate_misses_ = 0;
+  std::uint64_t pulse_hits_ = 0;
+  std::uint64_t pulse_misses_ = 0;
   std::uint64_t evictions_ = 0;
 };
 

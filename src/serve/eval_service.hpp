@@ -16,7 +16,10 @@
 namespace hgp::serve {
 
 /// The batched evaluation service: one worker pool plus one shared
-/// compiled-block cache serving many concurrent VQA workloads.
+/// compiled-block cache serving many concurrent VQA workloads — gate blocks
+/// and pulse blocks alike, so concurrent hybrid runs share compiled pulse
+/// mixers at repeated candidate angles (per-kind traffic visible via
+/// cache_stats()).
 ///
 /// Two kinds of work flow through it:
 ///   - *candidate batches* (opt::BatchDispatcher::run): the independent

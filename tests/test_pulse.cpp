@@ -172,3 +172,82 @@ TEST(Calibration, MeasureSchedule) {
   EXPECT_EQ(m.play_count(), 2u);
   EXPECT_GT(m.duration(), 0);
 }
+
+// ---- Schedule::fingerprint — the pulse-block cache-key primitive ----------
+
+namespace {
+/// A mixer-style block: frame knobs wrapped around one Gaussian play.
+Schedule mixer_like(double amp, double phase, double freq) {
+  Schedule s("mixer");
+  const Channel d = Channel::drive(0);
+  s.append(pulse::ShiftPhase{phase, d});
+  s.append(pulse::ShiftFrequency{freq, d});
+  s.append(pulse::Play{PulseShape::gaussian(64, amp, 16.0), d});
+  s.append(pulse::ShiftFrequency{-freq, d});
+  s.append(pulse::ShiftPhase{-phase, d});
+  return s;
+}
+}  // namespace
+
+TEST(ScheduleFingerprint, EqualContentKeysEqually) {
+  const Schedule a = mixer_like(0.2, 0.3, 0.05);
+  Schedule b = mixer_like(0.2, 0.3, 0.05);
+  b.set_name("renamed");  // cosmetic only
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScheduleFingerprint, OrderStableAcrossChannels) {
+  // The same physical program assembled in two append orders: plays on
+  // distinct channels at one start time commute, so the keys must match.
+  const pulse::Play p0{PulseShape::gaussian(64, 0.1, 16.0), Channel::drive(0)};
+  const pulse::Play p1{PulseShape::gaussian(64, 0.3, 16.0), Channel::drive(1)};
+  Schedule a;
+  a.insert(0, p0);
+  a.insert(0, p1);
+  Schedule b;
+  b.insert(0, p1);
+  b.insert(0, p0);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScheduleFingerprint, NearbyAmplitudeGetsDistinctKey) {
+  // The 6-sig-fig collision class the gate thetas were fixed for in PR 1:
+  // hexfloat formatting must separate amplitudes that round to one string.
+  const Schedule a = mixer_like(0.2, 0.0, 0.0);
+  const Schedule b = mixer_like(0.2 + 1e-9, 0.0, 0.0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScheduleFingerprint, FrameParametersDiscriminate) {
+  const Schedule base = mixer_like(0.2, 0.3, 0.05);
+  EXPECT_NE(base.fingerprint(), mixer_like(0.2, 0.3 + 1e-9, 0.05).fingerprint());
+  EXPECT_NE(base.fingerprint(), mixer_like(0.2, 0.3, 0.05 + 1e-9).fingerprint());
+}
+
+TEST(ScheduleFingerprint, SameChannelOrderIsSemantic) {
+  // SetPhase-then-ShiftPhase is a different frame program than the reverse;
+  // canonicalization must not merge them.
+  const Channel d = Channel::drive(0);
+  Schedule a;
+  a.insert(0, pulse::SetPhase{0.4, d});
+  a.insert(0, pulse::ShiftPhase{0.7, d});
+  Schedule b;
+  b.insert(0, pulse::ShiftPhase{0.7, d});
+  b.insert(0, pulse::SetPhase{0.4, d});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScheduleFingerprint, TimingAndShapeKindDiscriminate) {
+  const pulse::Play p{PulseShape::gaussian(64, 0.1, 16.0), Channel::drive(0)};
+  Schedule at0;
+  at0.insert(0, p);
+  Schedule at16;
+  at16.insert(16, p);
+  EXPECT_NE(at0.fingerprint(), at16.fingerprint());
+
+  Schedule gauss;
+  gauss.append(pulse::Play{PulseShape::gaussian(64, 0.1, 16.0), Channel::drive(0)});
+  Schedule drag;
+  drag.append(pulse::Play{PulseShape::drag(64, 0.1, 16.0, 0.0), Channel::drive(0)});
+  EXPECT_NE(gauss.fingerprint(), drag.fingerprint());
+}

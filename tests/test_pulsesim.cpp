@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "circuit/gates.hpp"
+#include "common/error.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/pauli.hpp"
 #include "linalg/vec.hpp"
@@ -259,4 +260,83 @@ TEST(PulseSim, UnitaryIsUnitary) {
   const auto cal = make_cal(2);
   const PulseSimulator sim(make_system(2, cal));
   EXPECT_TRUE(sim.unitary(cal.cx(0, 1)).is_unitary(1e-6));
+}
+
+// ---- CompiledSchedule — the simulator's cached lowering IR ----------------
+
+TEST(CompiledSchedule, ReusedIrMatchesPerCallCompilation) {
+  // Compiling once and evolving many states must give bit-identical results
+  // to the compile-on-the-fly convenience overload.
+  const auto cal = make_cal(2);
+  const PulseSimulator sim(make_system(2, cal));
+  const Schedule sched = cal.cx(0, 1);
+  const psim::CompiledSchedule cs = sim.compile(sched);
+  EXPECT_EQ(cs.duration_dt(), sched.duration());
+  EXPECT_EQ(cs.step_propagators().size(), cs.num_steps());
+
+  for (std::size_t col = 0; col < 4; ++col) {
+    CVec e(4, cxd{0.0, 0.0});
+    e[col] = 1.0;
+    const CVec reused = sim.evolve(cs, e);
+    const CVec fresh = sim.evolve(sched, e);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (std::size_t i = 0; i < reused.size(); ++i) EXPECT_EQ(reused[i], fresh[i]);
+  }
+}
+
+TEST(CompiledSchedule, PropagatorMatchesColumnAtATimeEvolve) {
+  // The column-batched product over precomputed step propagators must agree
+  // with integrating each basis column (up to matrix-product rounding).
+  const auto cal = make_cal(2);
+  const PulseSimulator sim(make_system(2, cal));
+  const psim::CompiledSchedule cs = sim.compile(cal.ecr(0, 1, la::kPi / 2));
+  const CMat u = sim.propagator(cs);
+  EXPECT_TRUE(u.is_unitary(1e-9));
+  for (std::size_t col = 0; col < 4; ++col) {
+    CVec e(4, cxd{0.0, 0.0});
+    e[col] = 1.0;
+    const CVec out = sim.evolve(cs, std::move(e));
+    for (std::size_t row = 0; row < 4; ++row)
+      EXPECT_LT(std::abs(u(row, col) - out[row]), 1e-10);
+  }
+}
+
+TEST(CompiledSchedule, StepCountFollowsStride) {
+  const auto cal = make_cal(1);
+  const Schedule x = cal.x(0);  // 160 dt
+  const PulseSimulator s1(make_system(1, cal), Integrator::Exact, 1, 1);
+  const PulseSimulator s4(make_system(1, cal), Integrator::Exact, 1, 4);
+  EXPECT_EQ(s1.compile(x).num_steps(), 160u);
+  EXPECT_EQ(s4.compile(x).num_steps(), 40u);
+}
+
+TEST(CompiledSchedule, Rk4IrPrecompilesOnlyIdleSteps) {
+  const auto cal = make_cal(1);
+  const PulseSimulator rk4(make_system(1, cal), Integrator::Rk4, 4);
+  Schedule s;
+  s.append(pulse::Delay{32, Channel::drive(0)});  // idle prefix
+  s.append_sequential(cal.x(0));
+  const psim::CompiledSchedule cs = rk4.compile(s);
+  ASSERT_EQ(cs.step_propagators().size(), cs.num_steps());
+  for (std::size_t i = 0; i < cs.num_steps(); ++i) {
+    // Idle steps carry a precompiled exact propagator (and their sampled
+    // Hamiltonian was released); drive steps keep H for the RK4 pass.
+    EXPECT_EQ(cs.step_propagators()[i].empty(), cs.steps()[i].has_drive);
+    EXPECT_EQ(cs.steps()[i].h.empty(), !cs.steps()[i].has_drive);
+  }
+  CVec psi(2, cxd{0.0, 0.0});
+  psi[0] = 1.0;
+  const CVec out = rk4.evolve(cs, std::move(psi));
+  EXPECT_NEAR(std::norm(out[1]), 1.0, 1e-3);  // π pulse flips the qubit
+}
+
+TEST(CompiledSchedule, RejectsIntegratorMismatch) {
+  const auto cal = make_cal(1);
+  const PulseSimulator exact(make_system(1, cal), Integrator::Exact);
+  const PulseSimulator rk4(make_system(1, cal), Integrator::Rk4, 4);
+  const psim::CompiledSchedule from_rk4 = rk4.compile(cal.x(0));
+  CVec psi(2, cxd{0.0, 0.0});
+  psi[0] = 1.0;
+  EXPECT_THROW(exact.evolve(from_rk4, psi), hgp::Error);
+  EXPECT_THROW(exact.propagator(from_rk4), hgp::Error);
 }

@@ -143,6 +143,106 @@ TEST(BlockCache, KeyDiscriminatesParametersAndCalibration) {
   EXPECT_EQ(cache->stats().misses, before.misses + 1);
 }
 
+namespace {
+
+/// A hybrid-model-style pulse step: frame knobs around one Gaussian play on
+/// qubit 0's drive channel (what QaoaModel::mixer_pulse emits).
+Program mixer_program(double amp) {
+  pulse::Schedule s("mixer");
+  const pulse::Channel d = pulse::Channel::drive(0);
+  s.append(pulse::ShiftPhase{0.3, d});
+  s.append(pulse::Play{pulse::PulseShape::gaussian(64, amp, 16.0), d});
+  s.append(pulse::ShiftPhase{-0.3, d});
+  Program prog;
+  prog.ops.push_back(ExecOp::from_pulse({0}, s));
+  prog.measure_qubits = {0};
+  return prog;
+}
+
+}  // namespace
+
+TEST(BlockCachePulse, ExecutorServesRepeatedPulseBlocksFromCache) {
+  auto cache = std::make_shared<serve::BlockCache>(256);
+  ExecutorOptions opts;
+  opts.block_cache = cache;
+  Executor ex(toronto(), opts);
+  Rng rng(3);
+
+  ex.run(mixer_program(0.2), 32, rng);
+  serve::BlockCache::Stats s = ex.cache_stats();
+  EXPECT_EQ(s.pulse_misses, 1u);
+  EXPECT_EQ(s.pulse_hits, 0u);
+
+  ex.run(mixer_program(0.2), 32, rng);  // repeated candidate angle: hit
+  s = ex.cache_stats();
+  EXPECT_EQ(s.pulse_hits, 1u);
+  EXPECT_EQ(s.pulse_misses, 1u);
+  // Totals fold both kinds; this program has no cacheable gate blocks.
+  EXPECT_EQ(s.hits, s.gate_hits + s.pulse_hits);
+
+  ex.run(mixer_program(0.2 + 1e-9), 32, rng);  // nearby amplitude: own slot
+  EXPECT_EQ(ex.cache_stats().pulse_misses, 2u);
+}
+
+TEST(BlockCachePulse, CountsBitIdenticalCacheOnVsOff) {
+  // A cached pulse block must replay the exact unitary a fresh compilation
+  // produces: same seeds, warm shared cache vs. cold private caches.
+  const Program prog = mixer_program(0.37);
+  auto shared = std::make_shared<serve::BlockCache>(256);
+  ExecutorOptions warm_opts;
+  warm_opts.block_cache = shared;
+  warm_opts.num_threads = 1;
+  Executor warm(toronto(), warm_opts);
+  Rng w1(11);
+  const sim::Counts warm_first = warm.run(prog, 512, w1);
+  const sim::Counts warm_second = warm.run(prog, 512, w1);  // all pulse hits
+  EXPECT_GT(warm.cache_stats().pulse_hits, 0u);
+
+  ExecutorOptions cold_opts;
+  cold_opts.num_threads = 1;
+  Rng c1(11);
+  Executor cold_a(toronto(), cold_opts);  // private cache, compiles fresh
+  const sim::Counts cold_first = cold_a.run(prog, 512, c1);
+  Executor cold_b(toronto(), cold_opts);
+  const sim::Counts cold_second = cold_b.run(prog, 512, c1);
+
+  EXPECT_EQ(warm_first, cold_first);
+  EXPECT_EQ(warm_second, cold_second);
+}
+
+TEST(BlockCachePulse, CalibrationChangeInvalidatesPulseEntries) {
+  auto cache = std::make_shared<serve::BlockCache>(256);
+  ExecutorOptions opts;
+  opts.block_cache = cache;
+  const backend::FakeBackend dev = backend::make_toronto();
+  Executor ex(dev, opts);
+  Rng rng(9);
+  ex.run(mixer_program(0.2), 16, rng);
+  ex.run(mixer_program(0.2), 16, rng);
+  EXPECT_EQ(cache->stats().pulse_hits, 1u);
+
+  backend::FakeBackend drifted = backend::make_toronto();
+  drifted.mutable_noise_model().qubits[0].freq_drift_ghz += 1e-4;
+  ASSERT_NE(dev.fingerprint(), drifted.fingerprint());
+  Executor ex2(drifted, opts);
+  const serve::BlockCache::Stats before = cache->stats();
+  ex2.run(mixer_program(0.2), 16, rng);  // same schedule, drifted device
+  EXPECT_EQ(cache->stats().pulse_hits, before.pulse_hits);
+  EXPECT_EQ(cache->stats().pulse_misses, before.pulse_misses + 1);
+}
+
+TEST(BlockCachePulse, HybridQaoaRunHitsAcrossOptimizerIterations) {
+  // The acceptance criterion of the unified pipeline: a hybrid QAOA run's
+  // trainable pulse mixers are served from the cache when the optimizer
+  // revisits candidate angles (at minimum the final best-point evaluation).
+  auto cache = std::make_shared<serve::BlockCache>(4096);
+  core::run_qaoa(graph::paper_task1(), toronto(), core::ModelKind::Hybrid,
+                 tiny_config("cobyla"), nullptr, cache);
+  const serve::BlockCache::Stats s = cache->stats();
+  EXPECT_GT(s.pulse_hits, 0u);
+  EXPECT_GT(s.gate_hits, 0u);
+}
+
 TEST(EvalService, NestedBatchesCompleteWithoutDeadlock) {
   // More jobs than workers, each dispatching its own candidate batches onto
   // the same pool — progress relies on the submitting thread helping drain.
@@ -211,6 +311,31 @@ TEST(Serve, SweepMatchesSequentialExecutionBitExactly) {
   // iterations and runs must hit.
   const serve::BlockCache::Stats stats = runner.cache_stats();
   EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(Serve, ConcurrentSweepSharesCompiledPulseMixers) {
+  // Two identical hybrid runs through one SweepRunner: the second run's
+  // pulse mixer blocks (every candidate angle) must be served from the
+  // shared cache compiled by the first — the cross-run sharing the per-kind
+  // stats exist to make visible.
+  const backend::FakeBackend& dev = toronto();
+  std::vector<serve::SweepJob> jobs;
+  jobs.push_back({"hybrid-a", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                  tiny_config("cobyla")});
+  jobs.push_back({"hybrid-b", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                  tiny_config("cobyla")});
+
+  serve::SweepRunner runner(serve::SweepRunner::Options{2, 4096});
+  const std::vector<core::RunResult> results = runner.run_all(jobs);
+  expect_same_result(results[0], results[1]);
+
+  // Each run's final best-point evaluation re-binds angles its own
+  // optimizer already compiled, so pulse hits are guaranteed even if the
+  // two runs race in lockstep (concurrent first-touch lookups of one key
+  // may legitimately both miss — the cache lets racing workers
+  // double-compile rather than block).
+  const serve::BlockCache::Stats stats = runner.cache_stats();
+  EXPECT_GT(stats.pulse_hits, 0u);
 }
 
 TEST(Serve, IdealExpectationBatchMatchesPointwise) {
