@@ -1,11 +1,15 @@
 // Wall-clock timing of the executor's noisy shot loop on the shared
 // heavy-hex ladder program — the per-evaluation hot path of the
-// machine-in-loop workflow. Used to track the trajectory engine's speedup
-// against the seed implementation.
+// machine-in-loop workflow. Times the scalar per-shot engine
+// (shot_batch_lanes = 1) against the lane-batched trajectory engine,
+// verifies their counts are bit-identical at equal seeds, and emits
+// BENCH_shotloop.json (best-of-reps, speedup, bit-identical flag).
 //
-//   bench_shotloop_timing [num_qubits] [shots] [reps] [threads]
+//   bench_shotloop_timing [num_qubits] [shots] [reps] [threads] [lanes]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "backend/presets.hpp"
@@ -20,25 +24,59 @@ int main(int argc, char** argv) {
   const std::size_t shots = argc > 2 ? std::stoul(argv[2]) : 256;
   const int reps = argc > 3 ? std::stoi(argv[3]) : 5;
   const std::size_t threads = argc > 4 ? std::stoul(argv[4]) : 1;
+  const std::size_t lanes = argc > 5 ? std::stoul(argv[5]) : core::ExecutorOptions{}.shot_batch_lanes;
 
   const core::Program prog = benchutil::toronto_ladder_program(n);
   const backend::FakeBackend dev = backend::make_toronto();
-  core::ExecutorOptions opts;
-  opts.num_threads = threads;
-  core::Executor ex(dev, opts);
-  Rng rng(17);
-  ex.run(prog, 1, rng);  // warm the unitary cache
 
-  double best_s = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const sim::Counts counts = ex.run(prog, shots, rng);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    if (s < best_s) best_s = s;
-    (void)counts;
-  }
-  std::printf("%zu qubits, %zu shots, %zu threads: best %.3f s (%.1f shots/s)\n", n, shots,
-              threads, best_s, shots / best_s);
-  return 0;
+  // Best-of-reps with a fresh seed-17 Rng per rep, so every rep (and both
+  // engines) executes the identical shot grid and the counts comparison is
+  // exact rather than statistical.
+  auto time_engine = [&](std::size_t engine_lanes, sim::Counts* counts_out) {
+    core::ExecutorOptions opts;
+    opts.num_threads = threads;
+    opts.shot_batch_lanes = engine_lanes;
+    core::Executor ex(dev, opts);
+    Rng warm(1);
+    ex.run(prog, 1, warm);  // warm the compiled-block cache
+    double best_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Rng rng(17);
+      const auto t0 = std::chrono::steady_clock::now();
+      *counts_out = ex.run(prog, shots, rng);
+      const auto t1 = std::chrono::steady_clock::now();
+      best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best_s;
+  };
+
+  sim::Counts scalar_counts, batched_counts;
+  const double scalar_s = time_engine(1, &scalar_counts);
+  const double batched_s = time_engine(lanes, &batched_counts);
+  const double speedup = batched_s > 0.0 ? scalar_s / batched_s : 0.0;
+  const bool identical = scalar_counts == batched_counts;
+
+  std::printf("%zu qubits, %zu shots, %zu threads\n", n, shots, threads);
+  std::printf("scalar  engine: best %.3f s (%.1f shots/s)\n", scalar_s, shots / scalar_s);
+  std::printf("batched engine: best %.3f s (%.1f shots/s), %zu lanes  ->  %.2fx\n",
+              batched_s, shots / batched_s, lanes, speedup);
+  std::printf("counts bit-identical scalar vs batched: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_shotloop.json");
+  json << "{\n"
+       << "  \"bench\": \"shotloop\",\n"
+       << "  \"qubits\": " << n << ",\n"
+       << "  \"shots\": " << shots << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"lanes\": " << lanes << ",\n"
+       << "  \"scalar_s\": " << scalar_s << ",\n"
+       << "  \"batched_s\": " << batched_s << ",\n"
+       << "  \"scalar_shots_per_s\": " << shots / scalar_s << ",\n"
+       << "  \"batched_shots_per_s\": " << shots / batched_s << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_shotloop.json\n");
+  return identical ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "linalg/eig.hpp"
 #include "mitigation/m3.hpp"
 #include "pulsesim/simulator.hpp"
+#include "sim/batched_statevector.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/sabre.hpp"
 
@@ -86,6 +87,78 @@ static void BM_KernelCxPermutation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KernelCxPermutation)->Arg(12)->Arg(16);
+
+// ---- lane-batched kernels vs a per-shot scalar loop ------------------------
+//
+// Each pair applies the same operator to L independent trajectories: the
+// scalar row loops over L separate statevectors (the pre-batching per-shot
+// cost), the batched row applies once across the L lanes of a
+// BatchedStatevector. items/sec counts trajectories, so the ratio of a pair
+// is the per-kernel lane-batching speedup — regressions here are
+// attributable to a single kernel.
+
+static void scalar_lanes_loop(benchmark::State& state, const la::CMat& u,
+                              const std::vector<std::size_t>& qubits) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  std::vector<sim::Statevector> svs(lanes, sim::Statevector(n));
+  for (auto _ : state) {
+    for (auto& sv : svs) sv.apply_matrix(u, qubits);
+    benchmark::DoNotOptimize(svs[0].data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+
+static void batched_lanes_apply(benchmark::State& state, const la::CMat& u,
+                                const std::vector<std::size_t>& qubits) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  sim::BatchedStatevector bsv(n, lanes);
+  for (auto _ : state) {
+    bsv.apply_matrix(u, qubits);
+    benchmark::DoNotOptimize(&bsv);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+
+static void BM_Lanes1qDiagonalScalar(benchmark::State& state) {
+  scalar_lanes_loop(state, qc::gate_matrix(qc::GateKind::RZ, {0.37}), {0});
+}
+static void BM_Lanes1qDiagonalBatched(benchmark::State& state) {
+  batched_lanes_apply(state, qc::gate_matrix(qc::GateKind::RZ, {0.37}), {0});
+}
+static void BM_Lanes1qDenseScalar(benchmark::State& state) {
+  scalar_lanes_loop(state, qc::gate_matrix(qc::GateKind::SX), {0});
+}
+static void BM_Lanes1qDenseBatched(benchmark::State& state) {
+  batched_lanes_apply(state, qc::gate_matrix(qc::GateKind::SX), {0});
+}
+static void BM_Lanes2qRzzDiagonalScalar(benchmark::State& state) {
+  scalar_lanes_loop(state, qc::gate_matrix(qc::GateKind::RZZ, {0.37}), {0, 1});
+}
+static void BM_Lanes2qRzzDiagonalBatched(benchmark::State& state) {
+  batched_lanes_apply(state, qc::gate_matrix(qc::GateKind::RZZ, {0.37}), {0, 1});
+}
+static void BM_Lanes2qDenseScalar(benchmark::State& state) {
+  scalar_lanes_loop(
+      state, la::kron(qc::gate_matrix(qc::GateKind::SX), qc::gate_matrix(qc::GateKind::SX)),
+      {0, 1});
+}
+static void BM_Lanes2qDenseBatched(benchmark::State& state) {
+  batched_lanes_apply(
+      state, la::kron(qc::gate_matrix(qc::GateKind::SX), qc::gate_matrix(qc::GateKind::SX)),
+      {0, 1});
+}
+BENCHMARK(BM_Lanes1qDiagonalScalar)->Args({12, 16});
+BENCHMARK(BM_Lanes1qDiagonalBatched)->Args({12, 16});
+BENCHMARK(BM_Lanes1qDenseScalar)->Args({12, 16});
+BENCHMARK(BM_Lanes1qDenseBatched)->Args({12, 16});
+BENCHMARK(BM_Lanes2qRzzDiagonalScalar)->Args({12, 16});
+BENCHMARK(BM_Lanes2qRzzDiagonalBatched)->Args({12, 16});
+BENCHMARK(BM_Lanes2qDenseScalar)->Args({12, 16});
+BENCHMARK(BM_Lanes2qDenseBatched)->Args({12, 16});
 
 // ---- executor engines: the per-evaluation hot path --------------------------
 

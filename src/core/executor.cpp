@@ -6,6 +6,7 @@
 #include <exception>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "common/error.hpp"
 #include "noise/channels.hpp"
 #include "pulsesim/simulator.hpp"
+#include "sim/kernel_structure.hpp"
 
 namespace hgp::core {
 
@@ -74,34 +76,30 @@ bool has_frequency_instruction(const pulse::Schedule& sched) {
 // rescale) into at most one half-pass over the |1>-subspace per call while
 // sampling the exact same quantum-jump unraveling as noise::apply_* (the
 // reference implementation the parity tests compare against).
+//
+// The lane-batched kernels in run_lane_group sample the same branches from
+// per-lane streams in the same per-shot draw order; both sides share
+// noise::relaxation_constants / noise::sample_depolarizing so the branch
+// probabilities agree to the bit.
 
-/// Iterate f(idx) over all basis indices with bit q set.
-template <typename F>
-inline void for_each_one(std::uint64_t size, std::uint64_t bit, F&& f) {
-  for (std::uint64_t base = bit; base < size; base += 2 * bit)
-    for (std::uint64_t i = base; i < base + bit; ++i) f(i);
-}
+using sim::detail::for_each_one;
 
 void traj_thermal_relaxation(sim::Statevector& sv, double& weight, std::size_t q,
-                             double t1_us, double t2_us, double duration_ns, Rng& rng) {
-  if (duration_ns <= 0.0) return;
-  HGP_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "traj_thermal_relaxation: bad T1/T2");
+                             const noise::RelaxationConstants& rc, Rng& rng) {
   la::CVec& amp = sv.data();
   const std::uint64_t size = amp.size();
   const std::uint64_t bit = std::uint64_t{1} << q;
-  const double t_us = duration_ns * 1e-3;
-  const double gamma = 1.0 - std::exp(-t_us / t1_us);
 
-  if (gamma > 0.0) {
+  if (rc.gamma > 0.0) {
     // Jump iff u < gamma * m1 with m1 the unnormalized |1> mass — the exact
     // branch probability gamma * (m1 / weight). Since m1 <= weight, a draw
     // u >= gamma * weight settles "no jump" without measuring m1 at all.
     const double u = rng.uniform() * weight;
     bool jumped = false;
-    if (u < gamma * weight) {
+    if (u < rc.gamma * weight) {
       double m1 = 0.0;
       for_each_one(size, bit, [&](std::uint64_t i) { m1 += std::norm(amp[i]); });
-      if (u < gamma * m1) {
+      if (u < rc.gamma * m1) {
         // K1 = sqrt(gamma)|0><1|: project onto |1> and reset to |0>, fused
         // into one move over the paired indices.
         for_each_one(size, bit, [&](std::uint64_t i) {
@@ -115,25 +113,19 @@ void traj_thermal_relaxation(sim::Statevector& sv, double& weight, std::size_t q
     if (!jumped) {
       // K0 = diag(1, sqrt(1-gamma)): damp the |1> amplitudes, measuring
       // their pre-damp mass on the fly if the shortcut skipped it.
-      const double damp = std::sqrt(1.0 - gamma);
       double m1_old = 0.0;
       for_each_one(size, bit, [&](std::uint64_t i) {
         m1_old += std::norm(amp[i]);
-        amp[i] *= damp;
+        amp[i] *= rc.damp;
       });
-      weight -= gamma * m1_old;
+      weight -= rc.gamma * m1_old;
     }
   }
 
   // Pure dephasing: a state-independent phase flip — half-pass only when the
   // (rare) flip fires.
-  const double t2 = std::min(t2_us, 2.0 * t1_us);
-  const double inv_tphi = 1.0 / t2 - 0.5 / t1_us;
-  if (inv_tphi > 1e-12) {
-    const double p_z = 0.5 * (1.0 - std::exp(-t_us * inv_tphi));
-    if (rng.bernoulli(p_z))
-      for_each_one(size, bit, [&](std::uint64_t i) { amp[i] = -amp[i]; });
-  }
+  if (rc.dephase && rng.bernoulli(rc.p_z))
+    for_each_one(size, bit, [&](std::uint64_t i) { amp[i] = -amp[i]; });
 }
 
 /// diag(d0, d1) up to global phase (irrelevant within one trajectory):
@@ -164,6 +156,81 @@ std::uint64_t traj_sample_one(const sim::Statevector& sv, double weight, Rng& rn
     if (x < acc) return i;
   }
   return amp.size() - 1;
+}
+
+/// The canonical noise-timeline walk of every executor engine: idle
+/// relaxation + frame drift before each block, the foldable virtual-diagonal
+/// shortcut, block application, per-block relaxation, and the drive/CR
+/// depolarizing charges, ending with the idle-to-readout relaxation. The
+/// scalar trajectory, lane-batched trajectory, and exact-density engines all
+/// traverse through here, so the schedule and charge policy have a single
+/// source of truth; only the kernels differ.
+///   relax(lq, duration_dt), drift(lq, duration_dt),
+///   phase(lq, ratio, unitary)  — 1q virtual diagonal block; trajectory
+///     engines drop the global phase and multiply by ratio, the density
+///     engine applies the full unitary,
+///   apply(unitary, locals), depolarize(qubits, p)
+template <typename Relax, typename Drift, typename Phase, typename Apply, typename Depol>
+void walk_noise_timeline(const CompiledProgram& cp, double dep1, double dep2,
+                         int readout_dt, Relax&& relax, Drift&& drift, Phase&& phase,
+                         Apply&& apply, Depol&& depolarize) {
+  for (const Scheduled& s : cp.timeline) {
+    for (std::size_t i = 0; i < s.local.size(); ++i) {
+      relax(s.local[i], s.idle_before_dt[i]);
+      drift(s.local[i], s.idle_before_dt[i]);
+    }
+    if (s.block.virtual_only && s.local.size() == 1 && is_diagonal2(s.block.unitary)) {
+      // Virtual Z-frame blocks are diagonal: half-pass, global phase dropped.
+      phase(s.local[0], s.block.unitary(1, 1) / s.block.unitary(0, 0), s.block.unitary);
+      continue;
+    }
+    apply(s.block.unitary, s.local);
+    if (s.block.virtual_only) continue;
+    for (std::size_t lq : s.local) relax(lq, s.block.duration_dt);
+    if (s.block.explicit_idle) {
+      for (std::size_t lq : s.local) drift(lq, s.block.duration_dt);
+      continue;
+    }
+    if (s.block.drive_plays > 0) {
+      // Charge 1q depolarizing per drive pulse, spread over the block's
+      // qubits (exact for 1q blocks; even split for multi-qubit blocks).
+      const double p = dep1 * static_cast<double>(s.block.drive_plays) /
+                       static_cast<double>(s.local.size());
+      for (std::size_t lq : s.local) depolarize({lq}, p);
+    }
+    if (s.block.cr_halves > 0 && s.local.size() >= 2) {
+      const double p = dep2 * static_cast<double>(s.block.cr_halves) / 2.0;
+      depolarize({s.local[0], s.local[1]}, p);
+    }
+  }
+  // Idle to the end of the circuit, then decohere through readout.
+  for (std::size_t lq = 0; lq < cp.touched.size(); ++lq)
+    relax(lq, cp.makespan_dt - cp.clock[lq] + readout_dt);
+}
+
+/// Per-thread scratch of run_lane_group, reused across lane groups, batches,
+/// and runs so a shot loop does not reallocate a dozen small vectors per
+/// 16-shot group (the lane statevector itself is hoisted by the caller).
+struct LaneWorkspace {
+  std::vector<Rng> rngs;
+  std::vector<double> weight, x, m1, take, scale1;
+  std::vector<std::uint8_t> diverged, precheck, flip;
+  std::vector<std::uint64_t> bits;
+  std::vector<std::pair<double, std::size_t>> clean;
+};
+
+/// Readout confusion on one sampled outcome: one bernoulli per measured bit
+/// from the shot's stream. Shared by the scalar and lane-batched engines.
+std::uint64_t apply_readout_flips(std::uint64_t bits, const CompiledProgram& cp,
+                                  const noise::NoiseModel& nm, Rng& rng) {
+  for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
+    const std::size_t lq = cp.measure_local[i];
+    const bool one = (bits >> lq) & 1;
+    const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
+    const double p_flip = one ? re.p0_given_1 : re.p1_given_0;
+    if (rng.bernoulli(p_flip)) bits ^= (std::uint64_t{1} << lq);
+  }
+  return bits;
 }
 
 }  // namespace
@@ -321,7 +388,7 @@ CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
   return block;
 }
 
-Executor::CompiledProgram Executor::compile_program(const Program& program,
+CompiledProgram Executor::compile_program(const Program& program,
                                                     std::size_t max_qubits) {
   CompiledProgram cp;
 
@@ -415,8 +482,9 @@ void Executor::run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng
   auto relax = [&](std::size_t lq, int duration_dt) {
     if (duration_dt <= 0) return;
     const noise::QubitNoise& qn = nm.qubits[cp.touched[lq]];
-    traj_thermal_relaxation(sv, weight, lq, qn.t1_us, qn.t2_us,
-                            duration_dt * pulse::kDtNs, rng);
+    const noise::RelaxationConstants rc =
+        noise::relaxation_constants(qn.t1_us, qn.t2_us, duration_dt * pulse::kDtNs);
+    traj_thermal_relaxation(sv, weight, lq, rc, rng);
   };
   // Coherent frame drift while idling: the qubit precesses at its true
   // (drifted) frequency but the frame stays at the calibrated one, so a
@@ -431,68 +499,211 @@ void Executor::run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng
     traj_rz(sv, lq, angle);
   };
 
-  for (const Scheduled& s : cp.timeline) {
-    for (std::size_t i = 0; i < s.local.size(); ++i) {
-      relax(s.local[i], s.idle_before_dt[i]);
-      idle_drift(s.local[i], s.idle_before_dt[i]);
-    }
-    if (s.block.virtual_only && s.local.size() == 1 && is_diagonal2(s.block.unitary)) {
-      // Virtual Z-frame blocks are diagonal: half-pass, global phase dropped.
-      traj_phase(sv, s.local[0], s.block.unitary(1, 1) / s.block.unitary(0, 0));
-      continue;
-    }
-    sv.apply_matrix(s.block.unitary, s.local);
-    if (s.block.virtual_only) continue;
-    for (std::size_t lq : s.local) relax(lq, s.block.duration_dt);
-    if (s.block.explicit_idle) {
-      for (std::size_t lq : s.local) idle_drift(lq, s.block.duration_dt);
-      continue;
-    }
-    if (s.block.drive_plays > 0) {
-      // Charge 1q depolarizing per drive pulse, spread over the block's
-      // qubits (exact for 1q blocks; even split for multi-qubit blocks).
-      const double p = dep1 * static_cast<double>(s.block.drive_plays) /
-                       static_cast<double>(s.local.size());
-      for (std::size_t lq : s.local) noise::apply_depolarizing(sv, {lq}, p, rng);
-    }
-    if (s.block.cr_halves > 0 && s.local.size() >= 2) {
-      const double p = dep2 * static_cast<double>(s.block.cr_halves) / 2.0;
-      noise::apply_depolarizing(sv, {s.local[0], s.local[1]}, p, rng);
-    }
-  }
-  // Idle to the end of the circuit, then decohere through readout.
-  for (std::size_t lq = 0; lq < cp.touched.size(); ++lq)
-    relax(lq, cp.makespan_dt - cp.clock[lq] + dev_.readout_duration_dt());
+  walk_noise_timeline(
+      cp, dep1, dep2, dev_.readout_duration_dt(), relax, idle_drift,
+      [&](std::size_t lq, la::cxd ratio, const la::CMat&) { traj_phase(sv, lq, ratio); },
+      [&](const la::CMat& u, const std::vector<std::size_t>& locals) {
+        sv.apply_matrix(u, locals);
+      },
+      [&](const std::vector<std::size_t>& qubits, double p) {
+        noise::apply_depolarizing(sv, qubits, p, rng);
+      });
 
   std::uint64_t bits = traj_sample_one(sv, weight, rng);
-  if (options_.readout_error) {
-    for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
-      const std::size_t lq = cp.measure_local[i];
-      const bool one = (bits >> lq) & 1;
-      const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
-      const double p_flip = one ? re.p0_given_1 : re.p1_given_0;
-      if (rng.bernoulli(p_flip)) bits ^= (std::uint64_t{1} << lq);
-    }
-  }
+  if (options_.readout_error) bits = apply_readout_flips(bits, cp, nm, rng);
   ++out[map_bits(bits, cp)];
+}
+
+void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector& bsv,
+                              std::uint64_t rng_base, std::size_t first_shot,
+                              sim::Counts& out) const {
+  const std::size_t nl = bsv.lanes();
+  const noise::NoiseModel& nm = dev_.noise_model();
+  const double dep1 = nm.dep_per_1q_pulse;
+  const double dep2 = nm.dep_per_2q_block;
+
+  static thread_local LaneWorkspace ws;
+
+  // Per-lane streams: lane l replays exactly the draw sequence shot
+  // first_shot + l makes in the scalar path (uniform before bernoulli per
+  // relaxation, bernoulli then rejection-sampled pick per depolarizing,
+  // sample uniform then readout flips at the end).
+  std::vector<Rng>& rngs = ws.rngs;
+  rngs.clear();
+  rngs.reserve(nl);
+  for (std::size_t l = 0; l < nl; ++l) rngs.push_back(Rng::child(rng_base, first_shot + l));
+
+  // Squared norms of the (deferred-normalization) per-lane states, and which
+  // lanes took any stochastic branch (jump / phase flip / Pauli pick) — the
+  // untouched lanes stay bitwise identical and share one sampling pass.
+  std::vector<double>& weight = ws.weight;
+  std::vector<std::uint8_t>& diverged = ws.diverged;
+  std::vector<double>& x = ws.x;
+  std::vector<double>& m1 = ws.m1;
+  std::vector<double>& take = ws.take;
+  std::vector<double>& scale1 = ws.scale1;
+  std::vector<std::uint8_t>& precheck = ws.precheck;
+  std::vector<std::uint8_t>& flip = ws.flip;
+  weight.assign(nl, 1.0);
+  diverged.assign(nl, 0);
+  x.resize(nl);
+  m1.resize(nl);
+  take.resize(nl);
+  scale1.resize(nl);
+  precheck.resize(nl);
+  flip.resize(nl);
+
+  auto relax = [&](std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0) return;
+    const noise::QubitNoise& qn = nm.qubits[cp.touched[lq]];
+    const noise::RelaxationConstants rc =
+        noise::relaxation_constants(qn.t1_us, qn.t2_us, duration_dt * pulse::kDtNs);
+    // Draw phase (scalar per-shot order): one uniform for the damping branch
+    // when gamma > 0, then one bernoulli for dephasing. The jump shortcut is
+    // the scalar one — u >= gamma * weight settles "no jump" without the
+    // mass; only lanes inside the window need m1 before deciding.
+    bool any_precheck = false, any_flip = false;
+    for (std::size_t l = 0; l < nl; ++l) {
+      precheck[l] = 0;
+      if (rc.gamma > 0.0) {
+        x[l] = rngs[l].uniform() * weight[l];
+        if (x[l] < rc.gamma * weight[l]) {
+          precheck[l] = 1;
+          any_precheck = true;
+        }
+      }
+      flip[l] = rc.dephase ? static_cast<std::uint8_t>(rngs[l].bernoulli(rc.p_z)) : 0;
+      if (flip[l]) {
+        any_flip = true;
+        diverged[l] = 1;
+      }
+    }
+    if (rc.gamma > 0.0) {
+      if (!any_precheck) {
+        // No lane can jump: fused mass + damp pass (dephasing sign folded —
+        // amp * (-damp) rounds identically to -(amp * damp)).
+        for (std::size_t l = 0; l < nl; ++l) scale1[l] = flip[l] ? -rc.damp : rc.damp;
+        bsv.fused_mass_damp(lq, scale1.data(), m1.data());
+        for (std::size_t l = 0; l < nl; ++l) weight[l] -= rc.gamma * m1[l];
+      } else {
+        bsv.masses_one(lq, m1.data());
+        for (std::size_t l = 0; l < nl; ++l) {
+          if (precheck[l] && x[l] < rc.gamma * m1[l]) {
+            take[l] = 1.0;
+            scale1[l] = 0.0;  // jump: |1> moves to |0> (flip acts on zeros)
+            weight[l] = m1[l];
+            diverged[l] = 1;
+          } else {
+            take[l] = 0.0;
+            scale1[l] = flip[l] ? -rc.damp : rc.damp;
+            weight[l] -= rc.gamma * m1[l];
+          }
+        }
+        bsv.damp_or_jump(lq, take.data(), scale1.data());
+      }
+    } else if (any_flip) {
+      for (std::size_t l = 0; l < nl; ++l) {
+        take[l] = 0.0;
+        scale1[l] = flip[l] ? -1.0 : 1.0;
+      }
+      bsv.damp_or_jump(lq, take.data(), scale1.data());
+    }
+  };
+  auto idle_drift = [&](std::size_t lq, int duration_dt) {
+    if (duration_dt <= 0 || !options_.coherent_noise) return;
+    const double drift = nm.qubits[cp.touched[lq]].freq_drift_ghz;
+    if (drift == 0.0) return;
+    const double angle = 2.0 * la::kPi * drift * duration_dt * pulse::kDtNs;
+    bsv.apply_phase_ratio(lq, std::polar(1.0, angle));
+  };
+  auto depolarize = [&](const std::vector<std::size_t>& qubits, double p) {
+    for (std::size_t l = 0; l < nl; ++l) {
+      const int pick = noise::sample_depolarizing(qubits.size(), p, rngs[l]);
+      if (pick == 0) continue;
+      diverged[l] = 1;
+      for (std::size_t i = 0; i < qubits.size(); ++i) {
+        const int pauli = (pick >> (2 * i)) & 3;
+        if (pauli == 0) continue;
+        bsv.apply_matrix_lane(la::pauli_matrix(static_cast<la::Pauli>(pauli)), qubits[i], l);
+      }
+    }
+  };
+
+  walk_noise_timeline(
+      cp, dep1, dep2, dev_.readout_duration_dt(), relax, idle_drift,
+      [&](std::size_t lq, la::cxd ratio, const la::CMat&) {
+        bsv.apply_phase_ratio(lq, ratio);
+      },
+      [&](const la::CMat& u, const std::vector<std::size_t>& locals) {
+        bsv.apply_matrix(u, locals);
+      },
+      depolarize);
+
+  // Terminal sampling: per-lane stream order is one uniform, then the
+  // readout flips. Lanes that never took a stochastic branch are bitwise
+  // identical — sort their draws and emit them in one shared accumulate
+  // pass; diverged lanes each scan their own lane in one lane-major pass.
+  for (std::size_t l = 0; l < nl; ++l) x[l] = rngs[l].uniform() * weight[l];
+  std::vector<std::uint64_t>& bits = ws.bits;
+  bits.resize(nl);
+  std::vector<std::pair<double, std::size_t>>& clean = ws.clean;
+  clean.clear();
+  clean.reserve(nl);
+  for (std::size_t l = 0; l < nl; ++l)
+    if (!diverged[l]) clean.emplace_back(x[l], l);
+  if (!clean.empty()) {
+    std::sort(clean.begin(), clean.end());
+    bsv.sample_sorted(clean.back().second, clean.data(), clean.size(), bits.data());
+  }
+  if (clean.size() < nl) bsv.sample_lanes(x.data(), diverged.data(), bits.data());
+
+  for (std::size_t l = 0; l < nl; ++l) {
+    std::uint64_t b = bits[l];
+    if (options_.readout_error) b = apply_readout_flips(b, cp, nm, rngs[l]);
+    ++out[map_bits(b, cp)];
+  }
 }
 
 sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t shots,
                                        Rng& rng) const {
   const std::size_t num_batches = (shots + kShotsPerBatch - 1) / kShotsPerBatch;
-  // One parent draw seeds the whole batch grid: the caller's Rng advances by
-  // exactly one step regardless of shots, batches, or thread count.
+  // One parent draw seeds the whole shot grid: the caller's Rng advances by
+  // exactly one step regardless of shots, batches, lanes, or thread count.
+  // Every shot then owns Rng::child(base, shot_index), so the counts depend
+  // only on (base, shots) — not on how shots are grouped into thread batches
+  // or lockstep lanes.
   const std::uint64_t base = rng.next_u64();
+  const std::size_t lanes = std::max<std::size_t>(std::size_t{1}, options_.shot_batch_lanes);
 
   std::vector<sim::Counts> batch_counts(num_batches);
   auto run_batch = [&](std::size_t b) {
-    Rng batch_rng = Rng::child(base, b);
     const std::size_t first = b * kShotsPerBatch;
     const std::size_t count = std::min(kShotsPerBatch, shots - first);
-    sim::Statevector sv(cp.touched.size());
-    for (std::size_t s = 0; s < count; ++s) {
-      if (s != 0) sv.reset();
-      run_one_shot(cp, sv, batch_rng, batch_counts[b]);
+    if (lanes <= 1) {
+      // Scalar fallback: one shot at a time on a reused statevector.
+      sim::Statevector sv(cp.touched.size());
+      for (std::size_t s = 0; s < count; ++s) {
+        if (s != 0) sv.reset();
+        Rng shot_rng = Rng::child(base, first + s);
+        run_one_shot(cp, sv, shot_rng, batch_counts[b]);
+      }
+      return;
+    }
+    // Lane-parallel: lockstep groups of `lanes` shots; the (reused) full
+    // group state plus one tail-sized state when count % lanes != 0.
+    std::unique_ptr<sim::BatchedStatevector> full;
+    for (std::size_t g = 0; g < count; g += lanes) {
+      const std::size_t nl = std::min(lanes, count - g);
+      if (nl == lanes) {
+        if (full)
+          full->reset();
+        else
+          full = std::make_unique<sim::BatchedStatevector>(cp.touched.size(), lanes);
+        run_lane_group(cp, *full, base, first + g, batch_counts[b]);
+      } else {
+        sim::BatchedStatevector tail(cp.touched.size(), nl);
+        run_lane_group(cp, tail, base, first + g, batch_counts[b]);
+      }
     }
   };
 
@@ -548,30 +759,18 @@ sim::Counts Executor::run_exact_density(const CompiledProgram& cp, std::size_t s
     dm.apply_matrix(qc::gate_matrix(qc::GateKind::RZ, {angle}), {lq});
   };
 
-  for (const Scheduled& s : cp.timeline) {
-    for (std::size_t i = 0; i < s.local.size(); ++i) {
-      relax(s.local[i], s.idle_before_dt[i]);
-      idle_drift(s.local[i], s.idle_before_dt[i]);
-    }
-    dm.apply_matrix(s.block.unitary, s.local);
-    if (s.block.virtual_only) continue;
-    for (std::size_t lq : s.local) relax(lq, s.block.duration_dt);
-    if (s.block.explicit_idle) {
-      for (std::size_t lq : s.local) idle_drift(lq, s.block.duration_dt);
-      continue;
-    }
-    if (s.block.drive_plays > 0) {
-      const double p = nm.dep_per_1q_pulse * static_cast<double>(s.block.drive_plays) /
-                       static_cast<double>(s.local.size());
-      for (std::size_t lq : s.local) dm.apply_depolarizing({lq}, p);
-    }
-    if (s.block.cr_halves > 0 && s.local.size() >= 2) {
-      const double p = nm.dep_per_2q_block * static_cast<double>(s.block.cr_halves) / 2.0;
-      dm.apply_depolarizing({s.local[0], s.local[1]}, p);
-    }
-  }
-  for (std::size_t lq = 0; lq < cp.touched.size(); ++lq)
-    relax(lq, cp.makespan_dt - cp.clock[lq] + dev_.readout_duration_dt());
+  walk_noise_timeline(
+      cp, nm.dep_per_1q_pulse, nm.dep_per_2q_block, dev_.readout_duration_dt(), relax,
+      idle_drift,
+      // Exact evolution keeps the full virtual-diagonal unitary (global
+      // phase cancels in U rho U†, so no fold is needed).
+      [&](std::size_t lq, la::cxd, const la::CMat& u) { dm.apply_matrix(u, {lq}); },
+      [&](const la::CMat& u, const std::vector<std::size_t>& locals) {
+        dm.apply_matrix(u, locals);
+      },
+      [&](const std::vector<std::size_t>& qubits, double p) {
+        dm.apply_depolarizing(qubits, p);
+      });
 
   // Marginalize the exact distribution onto the measured bits.
   const std::vector<double> p_full = dm.probabilities();

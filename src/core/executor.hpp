@@ -9,6 +9,7 @@
 #include "core/compiled_block.hpp"
 #include "core/program.hpp"
 #include "serve/block_cache.hpp"
+#include "sim/batched_statevector.hpp"
 #include "sim/density.hpp"
 #include "sim/state.hpp"
 #include "sim/statevector.hpp"
@@ -18,9 +19,9 @@ namespace hgp::core {
 /// How the executor turns a compiled program plus a noise model into counts.
 enum class Engine {
   /// Sample shots as statevector quantum trajectories (the machine-in-loop
-  /// production path; scales to ~14 active qubits). Shots are batched across
-  /// worker threads with per-batch child RNG streams, so counts are
-  /// bit-identical regardless of thread count.
+  /// production path; scales to ~14 active qubits). Every shot owns a child
+  /// RNG stream derived from one parent draw, so counts are bit-identical
+  /// regardless of worker-thread count or lane-batch width.
   Trajectory,
   /// One exact density-matrix pass with Kraus channels — no shot loop at
   /// all. Exact statistics for small registers (<= 10 active qubits).
@@ -30,6 +31,10 @@ enum class Engine {
 /// Parse "trajectory" | "density" (throws on anything else).
 Engine engine_from_name(const std::string& name);
 const std::string& engine_name(Engine engine);
+
+/// Default lockstep width of the batched trajectory engine — the sweet spot
+/// measured by bench_shotloop_timing at 12-14 qubits on one core.
+inline constexpr std::size_t kDefaultShotBatchLanes = 16;
 
 struct ExecutorOptions {
   /// Master switch: false = ideal (noiseless, exact gate matrices).
@@ -45,6 +50,13 @@ struct ExecutorOptions {
   /// Worker threads for the trajectory shot loop (0 = hardware concurrency).
   /// Counts are identical for every value — threads only change wall clock.
   std::size_t num_threads = 0;
+  /// Trajectory lanes evolved in lockstep by the batched multi-shot
+  /// statevector: each gate applies once across all lanes of a shot group,
+  /// amortizing dispatch and turning the inner loop into unit-stride
+  /// vectorizable arithmetic. 0 or 1 falls back to the scalar per-shot
+  /// loop. Counts are bit-identical for every value (each shot's stochastic
+  /// branches draw from its own child stream in the scalar order).
+  std::size_t shot_batch_lanes = kDefaultShotBatchLanes;
   /// Compiled-block cache shared with other executors (serve::EvalService
   /// injects its process-wide cache here). Null = the executor creates a
   /// private cache of `block_cache_capacity` entries.
@@ -59,6 +71,26 @@ struct ExecutionReport {
   int makespan_dt = 0;
   int readout_dt = 0;
   std::size_t block_count = 0;
+};
+
+/// One block placed on the ASAP timeline in local qubit coordinates.
+struct Scheduled {
+  CompiledBlock block;
+  std::vector<std::size_t> local;   // local qubit indices
+  std::vector<int> idle_before_dt;  // per local qubit of the block
+};
+
+/// A program compiled down to the engine-independent representation: the
+/// block timeline over the compressed (touched-only) register plus the
+/// measurement maps. Every engine — scalar trajectory, lane-batched
+/// trajectory, exact density — walks this same structure.
+struct CompiledProgram {
+  std::vector<Scheduled> timeline;
+  std::vector<std::size_t> touched;        // sorted physical qubits
+  std::vector<std::size_t> measure_phys;   // physical qubit per measured bit
+  std::vector<std::size_t> measure_local;  // local qubit per measured bit
+  std::vector<int> clock;                  // per-local end time
+  int makespan_dt = 0;
 };
 
 /// The machine-in-loop execution engine: compiles a Program's steps into
@@ -84,25 +116,6 @@ class Executor {
   serve::BlockCache::Stats cache_stats() const { return cache_->stats(); }
 
  private:
-  /// One block placed on the ASAP timeline in local qubit coordinates.
-  struct Scheduled {
-    CompiledBlock block;
-    std::vector<std::size_t> local;   // local qubit indices
-    std::vector<int> idle_before_dt;  // per local qubit of the block
-  };
-
-  /// A program compiled down to the engine-independent representation: the
-  /// block timeline over the compressed (touched-only) register plus the
-  /// measurement maps.
-  struct CompiledProgram {
-    std::vector<Scheduled> timeline;
-    std::vector<std::size_t> touched;       // sorted physical qubits
-    std::vector<std::size_t> measure_phys;  // physical qubit per measured bit
-    std::vector<std::size_t> measure_local; // local qubit per measured bit
-    std::vector<int> clock;                 // per-local end time
-    int makespan_dt = 0;
-  };
-
   /// The single block-lowering entry point: every program step — gate or
   /// pulse — routes through here. Virtual (free diagonal) gates and explicit
   /// delays compile to exact matrices without touching the cache; everything
@@ -136,6 +149,15 @@ class Executor {
   /// record a single readout into `out`.
   void run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng& rng,
                     sim::Counts& out) const;
+  /// bsv.lanes() trajectories in lockstep: deterministic blocks apply once
+  /// across all lanes, stochastic branches draw per lane from
+  /// Rng::child(rng_base, first_shot + lane) in the scalar path's order, and
+  /// terminal sampling does one probability pass (shared sorted pass for
+  /// lanes that took no stochastic branch). Counts land in `out` exactly as
+  /// if run_one_shot had run each lane's shot.
+  void run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector& bsv,
+                      std::uint64_t rng_base, std::size_t first_shot,
+                      sim::Counts& out) const;
   sim::Counts run_exact_density(const CompiledProgram& cp, std::size_t shots, Rng& rng) const;
 
   const backend::FakeBackend& dev_;

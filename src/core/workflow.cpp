@@ -40,6 +40,7 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   ExecutorOptions eopt;
   eopt.engine = engine_from_name(config.engine);
   eopt.num_threads = config.executor_threads;
+  eopt.shot_batch_lanes = config.shot_batch_lanes;
   // Every executor of this run (driver + per-candidate) compiles into one
   // cache: across optimizer iterations only the parameter-bearing blocks
   // recompile. A service-injected cache extends the sharing to every

@@ -35,6 +35,9 @@ struct RunConfig {
   /// Worker threads of the trajectory shot loop (0 = hardware concurrency).
   /// Counts are bit-identical for every value.
   std::size_t executor_threads = 0;
+  /// Lockstep lanes of the batched trajectory engine (0/1 = scalar per-shot
+  /// loop). Counts are bit-identical for every value.
+  std::size_t shot_batch_lanes = core::kDefaultShotBatchLanes;
   /// Shots for the M3 readout-calibration programs.
   std::size_t calibration_shots = 4096;
   ModelConfig model;

@@ -7,13 +7,18 @@
 
 namespace hgp::noise {
 
+int sample_depolarizing(std::size_t num_qubits, double p, Rng& rng) {
+  HGP_REQUIRE(p >= 0.0 && p <= 1.0, "sample_depolarizing: bad probability");
+  if (!rng.bernoulli(p)) return 0;
+  // Uniform non-identity Pauli on the qubit set.
+  const int options = (1 << (2 * static_cast<int>(num_qubits))) - 1;
+  return rng.uniform_int(1, options);
+}
+
 void apply_depolarizing(sim::QuantumState& state, const std::vector<std::size_t>& qubits,
                         double p, Rng& rng) {
-  HGP_REQUIRE(p >= 0.0 && p <= 1.0, "apply_depolarizing: bad probability");
-  if (!rng.bernoulli(p)) return;
-  // Uniform non-identity Pauli on the qubit set.
-  const int options = (1 << (2 * static_cast<int>(qubits.size()))) - 1;
-  const int pick = rng.uniform_int(1, options);
+  const int pick = sample_depolarizing(qubits.size(), p, rng);
+  if (pick == 0) return;
   for (std::size_t i = 0; i < qubits.size(); ++i) {
     const int pauli = (pick >> (2 * i)) & 3;
     if (pauli == 0) continue;
@@ -42,21 +47,29 @@ void apply_phase_flip(sim::QuantumState& state, std::size_t q, double p, Rng& rn
   if (rng.bernoulli(p)) state.apply_matrix(la::pauli_matrix(la::Pauli::Z), {q});
 }
 
-void apply_thermal_relaxation(sim::QuantumState& state, std::size_t q, double t1_us,
-                              double t2_us, double duration_ns, Rng& rng) {
-  if (duration_ns <= 0.0) return;
-  HGP_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "apply_thermal_relaxation: bad T1/T2");
+RelaxationConstants relaxation_constants(double t1_us, double t2_us, double duration_ns) {
+  HGP_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "relaxation_constants: bad T1/T2");
+  RelaxationConstants rc;
+  if (duration_ns <= 0.0) return rc;
   const double t_us = duration_ns * 1e-3;
-  const double gamma = 1.0 - std::exp(-t_us / t1_us);
-  apply_amplitude_damping(state, q, gamma, rng);
-
+  rc.gamma = 1.0 - std::exp(-t_us / t1_us);
+  rc.damp = std::sqrt(1.0 - rc.gamma);
   // Pure dephasing rate; clamp T2 into the physical region.
   const double t2 = std::min(t2_us, 2.0 * t1_us);
   const double inv_tphi = 1.0 / t2 - 0.5 / t1_us;
   if (inv_tphi > 1e-12) {
-    const double p_z = 0.5 * (1.0 - std::exp(-t_us * inv_tphi));
-    apply_phase_flip(state, q, p_z, rng);
+    rc.dephase = true;
+    rc.p_z = 0.5 * (1.0 - std::exp(-t_us * inv_tphi));
   }
+  return rc;
+}
+
+void apply_thermal_relaxation(sim::QuantumState& state, std::size_t q, double t1_us,
+                              double t2_us, double duration_ns, Rng& rng) {
+  if (duration_ns <= 0.0) return;
+  const RelaxationConstants rc = relaxation_constants(t1_us, t2_us, duration_ns);
+  apply_amplitude_damping(state, q, rc.gamma, rng);
+  if (rc.dephase) apply_phase_flip(state, q, rc.p_z, rng);
 }
 
 std::uint64_t apply_readout(std::uint64_t bits, const std::vector<ReadoutError>& errors,

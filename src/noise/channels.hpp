@@ -19,6 +19,28 @@ namespace hgp::noise {
 void apply_depolarizing(sim::QuantumState& state, const std::vector<std::size_t>& qubits,
                         double p, Rng& rng);
 
+/// Sample the depolarizing branch without applying it: returns 0 (identity,
+/// probability 1-p) or the chosen Pauli-product code (2 bits per qubit,
+/// 1..4^k-1, qubit i's Pauli in bits [2i, 2i+1]). Consumes the Rng exactly
+/// like apply_depolarizing, so per-lane engines that draw one branch per
+/// trajectory lane stay stream-compatible with the per-shot reference.
+int sample_depolarizing(std::size_t num_qubits, double p, Rng& rng);
+
+/// Derived constants of one thermal-relaxation application over duration_ns
+/// — the quantities every engine (scalar trajectory kernel, lane-batched
+/// kernel, generic Kraus channel) must agree on exactly:
+///   gamma = 1 - exp(-t/T1)      amplitude-damping probability scale
+///   damp  = sqrt(1 - gamma)     no-jump damping of the |1> amplitudes
+///   p_z   = (1 - exp(-t/Tphi))/2 phase-flip probability (when `dephase`;
+///           Tphi from 1/Tphi = 1/T2 - 1/(2 T1), T2 clamped to <= 2 T1)
+struct RelaxationConstants {
+  double gamma = 0.0;
+  double damp = 1.0;
+  double p_z = 0.0;
+  bool dephase = false;
+};
+RelaxationConstants relaxation_constants(double t1_us, double t2_us, double duration_ns);
+
 /// Amplitude damping with decay probability gamma on qubit q.
 void apply_amplitude_damping(sim::QuantumState& state, std::size_t q, double gamma, Rng& rng);
 

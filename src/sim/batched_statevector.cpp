@@ -1,0 +1,402 @@
+#include "sim/batched_statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/kernel_structure.hpp"
+
+namespace hgp::sim {
+
+using la::cxd;
+using la::CMat;
+using detail::for_each_one;
+using detail::for_each_pair_base;
+using detail::for_each_quad_base;
+using detail::is_zero;
+
+// Every arithmetic expression in this file mirrors the corresponding scalar
+// Statevector / executor kernel term-for-term (products first, then the same
+// association of sums) so that, with FP contraction disabled, a lane evolves
+// bit-identically to a scalar shot. Do not "simplify" the arithmetic here
+// without changing the scalar kernels in lockstep.
+
+BatchedStatevector::BatchedStatevector(std::size_t num_qubits, std::size_t lanes)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits), lanes_(lanes) {
+  HGP_REQUIRE(num_qubits <= 26, "BatchedStatevector: too many qubits");
+  HGP_REQUIRE(lanes >= 1, "BatchedStatevector: need at least one lane");
+  re_.assign(dim_ * lanes_, 0.0);
+  im_.assign(dim_ * lanes_, 0.0);
+  for (std::size_t l = 0; l < lanes_; ++l) re_[l] = 1.0;
+  scratch_re_.resize(4 * lanes_);
+  scratch_im_.resize(4 * lanes_);
+  acc_.resize(lanes_);
+  done_.resize(lanes_);
+}
+
+void BatchedStatevector::reset() {
+  std::fill(re_.begin(), re_.end(), 0.0);
+  std::fill(im_.begin(), im_.end(), 0.0);
+  for (std::size_t l = 0; l < lanes_; ++l) re_[l] = 1.0;
+}
+
+cxd BatchedStatevector::amplitude(std::uint64_t i, std::size_t lane) const {
+  return {re_[i * lanes_ + lane], im_[i * lanes_ + lane]};
+}
+
+void BatchedStatevector::set_amplitude(std::uint64_t i, std::size_t lane, cxd a) {
+  re_[i * lanes_ + lane] = a.real();
+  im_[i * lanes_ + lane] = a.imag();
+}
+
+namespace {
+
+/// row *= c for every lane (mirror of amp[i] *= c).
+inline void mul_row(double* __restrict__ re, double* __restrict__ im, std::size_t L,
+                    double cr, double ci) {
+  for (std::size_t l = 0; l < L; ++l) {
+    const double ar = re[l], ai = im[l];
+    re[l] = cr * ar - ci * ai;
+    im[l] = cr * ai + ci * ar;
+  }
+}
+
+}  // namespace
+
+void BatchedStatevector::apply_matrix(const CMat& u,
+                                      const std::vector<std::size_t>& qubits) {
+  const std::size_t k = qubits.size();
+  HGP_REQUIRE(u.rows() == (std::size_t{1} << k) && u.cols() == u.rows(),
+              "BatchedStatevector::apply_matrix: matrix size mismatch");
+  for (std::size_t q : qubits)
+    HGP_REQUIRE(q < num_qubits_, "BatchedStatevector::apply_matrix: qubit out of range");
+  const std::size_t L = lanes_;
+
+  if (k == 1) {
+    const std::uint64_t bit = std::uint64_t{1} << qubits[0];
+    const cxd u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+    if (is_zero(u01) && is_zero(u10)) {
+      // Diagonal: pure per-amplitude phases, broadcast over lanes.
+      const double d0r = u00.real(), d0i = u00.imag();
+      const double d1r = u11.real(), d1i = u11.imag();
+      for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+        mul_row(&re_[i * L], &im_[i * L], L, d0r, d0i);
+        mul_row(&re_[(i | bit) * L], &im_[(i | bit) * L], L, d1r, d1i);
+      });
+      return;
+    }
+    if (is_zero(u00) && is_zero(u11)) {
+      // Anti-diagonal: paired swap with phases.
+      const double p01r = u01.real(), p01i = u01.imag();
+      const double p10r = u10.real(), p10i = u10.imag();
+      for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+        double* __restrict__ r0 = &re_[i * L];
+        double* __restrict__ m0 = &im_[i * L];
+        double* __restrict__ r1 = &re_[(i | bit) * L];
+        double* __restrict__ m1 = &im_[(i | bit) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double ar0 = r0[l], ai0 = m0[l];
+          const double ar1 = r1[l], ai1 = m1[l];
+          r0[l] = p01r * ar1 - p01i * ai1;
+          m0[l] = p01r * ai1 + p01i * ar1;
+          r1[l] = p10r * ar0 - p10i * ai0;
+          m1[l] = p10r * ai0 + p10i * ar0;
+        }
+      });
+      return;
+    }
+    const double u00r = u00.real(), u00i = u00.imag();
+    const double u01r = u01.real(), u01i = u01.imag();
+    const double u10r = u10.real(), u10i = u10.imag();
+    const double u11r = u11.real(), u11i = u11.imag();
+    for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+      double* __restrict__ r0 = &re_[i * L];
+      double* __restrict__ m0 = &im_[i * L];
+      double* __restrict__ r1 = &re_[(i | bit) * L];
+      double* __restrict__ m1 = &im_[(i | bit) * L];
+      for (std::size_t l = 0; l < L; ++l) {
+        const double ar0 = r0[l], ai0 = m0[l];
+        const double ar1 = r1[l], ai1 = m1[l];
+        r0[l] = (u00r * ar0 - u00i * ai0) + (u01r * ar1 - u01i * ai1);
+        m0[l] = (u00r * ai0 + u00i * ar0) + (u01r * ai1 + u01i * ar1);
+        r1[l] = (u10r * ar0 - u10i * ai0) + (u11r * ar1 - u11i * ai1);
+        m1[l] = (u10r * ai0 + u10i * ar0) + (u11r * ai1 + u11i * ar1);
+      }
+    });
+    return;
+  }
+
+  if (k == 2) {
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    std::uint64_t offset[4];
+    for (std::size_t s = 0; s < 4; ++s)
+      offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0);
+
+    if (detail::is_diagonal4(u)) {
+      const cxd d[4] = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
+      for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 4; ++s)
+          mul_row(&re_[(i | offset[s]) * L], &im_[(i | offset[s]) * L], L, d[s].real(),
+                  d[s].imag());
+      });
+      return;
+    }
+
+    detail::Perm4 p4;
+    if (detail::as_permutation4(u, p4)) {
+      std::vector<double>& sr = scratch_re_;
+      std::vector<double>& si = scratch_im_;
+      for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 4; ++s) {
+          const double* __restrict__ r = &re_[(i | offset[s]) * L];
+          const double* __restrict__ m = &im_[(i | offset[s]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            sr[s * L + l] = r[l];
+            si[s * L + l] = m[l];
+          }
+        }
+        for (std::size_t s = 0; s < 4; ++s) {
+          const double pr = p4.phase[s].real(), pi = p4.phase[s].imag();
+          double* __restrict__ r = &re_[(i | offset[p4.perm[s]]) * L];
+          double* __restrict__ m = &im_[(i | offset[p4.perm[s]]) * L];
+          const double* __restrict__ ar = &sr[s * L];
+          const double* __restrict__ ai = &si[s * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            r[l] = pr * ar[l] - pi * ai[l];
+            m[l] = pr * ai[l] + pi * ar[l];
+          }
+        }
+      });
+      return;
+    }
+
+    double ur[4][4], ui[4][4];
+    for (std::size_t r = 0; r < 4; ++r)
+      for (std::size_t c = 0; c < 4; ++c) {
+        ur[r][c] = u(r, c).real();
+        ui[r][c] = u(r, c).imag();
+      }
+    std::vector<double>& sr = scratch_re_;
+    std::vector<double>& si = scratch_im_;
+    for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+      for (std::size_t s = 0; s < 4; ++s) {
+        const double* __restrict__ r = &re_[(i | offset[s]) * L];
+        const double* __restrict__ m = &im_[(i | offset[s]) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          sr[s * L + l] = r[l];
+          si[s * L + l] = m[l];
+        }
+      }
+      // Mirror of the scalar row expression u(r,0)*a0 + u(r,1)*a1 + ... :
+      // each product rounded first, sums associated left-to-right.
+      for (std::size_t r = 0; r < 4; ++r) {
+        double* __restrict__ outr = &re_[(i | offset[r]) * L];
+        double* __restrict__ outm = &im_[(i | offset[r]) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double p0r = ur[r][0] * sr[0 * L + l] - ui[r][0] * si[0 * L + l];
+          const double p0i = ur[r][0] * si[0 * L + l] + ui[r][0] * sr[0 * L + l];
+          const double p1r = ur[r][1] * sr[1 * L + l] - ui[r][1] * si[1 * L + l];
+          const double p1i = ur[r][1] * si[1 * L + l] + ui[r][1] * sr[1 * L + l];
+          const double p2r = ur[r][2] * sr[2 * L + l] - ui[r][2] * si[2 * L + l];
+          const double p2i = ur[r][2] * si[2 * L + l] + ui[r][2] * sr[2 * L + l];
+          const double p3r = ur[r][3] * sr[3 * L + l] - ui[r][3] * si[3 * L + l];
+          const double p3i = ur[r][3] * si[3 * L + l] + ui[r][3] * sr[3 * L + l];
+          outr[l] = ((p0r + p1r) + p2r) + p3r;
+          outm[l] = ((p0i + p1i) + p2i) + p3i;
+        }
+      }
+    });
+    return;
+  }
+
+  // Generic k-qubit path: block enumeration of the 2^(n-k) base indices,
+  // same as the scalar backend.
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<std::uint64_t> masks(k);
+  for (std::size_t j = 0; j < k; ++j) masks[j] = std::uint64_t{1} << qubits[j];
+  std::vector<std::uint64_t> sorted_masks = masks;
+  std::sort(sorted_masks.begin(), sorted_masks.end());
+
+  std::vector<double> lr(dim * L), li(dim * L);
+  std::vector<std::uint64_t> idx(dim);
+  const std::uint64_t num_bases = dim_ >> k;
+  for (std::uint64_t t = 0; t < num_bases; ++t) {
+    const std::uint64_t base = detail::expand_base(t, sorted_masks.data(), k);
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      std::uint64_t i = base;
+      for (std::size_t j = 0; j < k; ++j)
+        if ((s >> j) & 1) i |= masks[j];
+      idx[s] = i;
+      const double* __restrict__ r = &re_[i * L];
+      const double* __restrict__ m = &im_[i * L];
+      for (std::size_t l = 0; l < L; ++l) {
+        lr[s * L + l] = r[l];
+        li[s * L + l] = m[l];
+      }
+    }
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      double* __restrict__ outr = &re_[idx[r] * L];
+      double* __restrict__ outm = &im_[idx[r] * L];
+      for (std::size_t l = 0; l < L; ++l) {
+        outr[l] = 0.0;
+        outm[l] = 0.0;
+      }
+      // acc += u(r,s) * local[s], product rounded before the accumulate —
+      // the scalar path's exact summation order.
+      for (std::uint64_t s = 0; s < dim; ++s) {
+        const double cr = u(r, s).real(), ci = u(r, s).imag();
+        const double* __restrict__ ar = &lr[s * L];
+        const double* __restrict__ ai = &li[s * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double pr = cr * ar[l] - ci * ai[l];
+          const double pi = cr * ai[l] + ci * ar[l];
+          outr[l] += pr;
+          outm[l] += pi;
+        }
+      }
+    }
+  }
+}
+
+void BatchedStatevector::apply_phase_ratio(std::size_t q, cxd ratio) {
+  if (ratio == cxd{1.0, 0.0}) return;
+  HGP_REQUIRE(q < num_qubits_, "apply_phase_ratio: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const double rr = ratio.real(), ri = ratio.imag();
+  const std::size_t L = lanes_;
+  for_each_one(dim_, bit, [&](std::uint64_t i) { mul_row(&re_[i * L], &im_[i * L], L, rr, ri); });
+}
+
+void BatchedStatevector::masses_one(std::size_t q, double* m1) const {
+  HGP_REQUIRE(q < num_qubits_, "masses_one: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const std::size_t L = lanes_;
+  for (std::size_t l = 0; l < L; ++l) m1[l] = 0.0;
+  for_each_one(dim_, bit, [&](std::uint64_t i) {
+    const double* __restrict__ r = &re_[i * L];
+    const double* __restrict__ m = &im_[i * L];
+    for (std::size_t l = 0; l < L; ++l) m1[l] += r[l] * r[l] + m[l] * m[l];
+  });
+}
+
+void BatchedStatevector::fused_mass_damp(std::size_t q, const double* scale1, double* m1) {
+  HGP_REQUIRE(q < num_qubits_, "fused_mass_damp: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const std::size_t L = lanes_;
+  for (std::size_t l = 0; l < L; ++l) m1[l] = 0.0;
+  for_each_one(dim_, bit, [&](std::uint64_t i) {
+    double* __restrict__ r = &re_[i * L];
+    double* __restrict__ m = &im_[i * L];
+    for (std::size_t l = 0; l < L; ++l) {
+      const double ar = r[l], ai = m[l];
+      m1[l] += ar * ar + ai * ai;
+      r[l] = ar * scale1[l];
+      m[l] = ai * scale1[l];
+    }
+  });
+}
+
+void BatchedStatevector::damp_or_jump(std::size_t q, const double* take,
+                                      const double* scale1) {
+  HGP_REQUIRE(q < num_qubits_, "damp_or_jump: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const std::size_t L = lanes_;
+  for_each_one(dim_, bit, [&](std::uint64_t i) {
+    double* __restrict__ r1 = &re_[i * L];
+    double* __restrict__ m1p = &im_[i * L];
+    double* __restrict__ r0 = &re_[(i ^ bit) * L];
+    double* __restrict__ m0 = &im_[(i ^ bit) * L];
+    for (std::size_t l = 0; l < L; ++l) {
+      const double t = take[l];
+      const double keep = 1.0 - t;
+      r0[l] = keep * r0[l] + t * r1[l];
+      m0[l] = keep * m0[l] + t * m1p[l];
+      r1[l] *= scale1[l];
+      m1p[l] *= scale1[l];
+    }
+  });
+}
+
+void BatchedStatevector::apply_matrix_lane(const CMat& u, std::size_t q, std::size_t lane) {
+  HGP_REQUIRE(u.rows() == 2 && u.cols() == 2, "apply_matrix_lane: expected a 2x2 operator");
+  HGP_REQUIRE(q < num_qubits_ && lane < lanes_, "apply_matrix_lane: out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const std::size_t L = lanes_;
+  const cxd u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  auto at = [&](std::uint64_t i) -> cxd { return {re_[i * L + lane], im_[i * L + lane]}; };
+  auto put = [&](std::uint64_t i, cxd a) {
+    re_[i * L + lane] = a.real();
+    im_[i * L + lane] = a.imag();
+  };
+  // Same dispatch and arithmetic as the scalar 1q kernels, restricted to one
+  // lane (strided access — this is the rare per-lane Pauli-branch path).
+  if (is_zero(u01) && is_zero(u10)) {
+    for (std::uint64_t i = 0; i < dim_; ++i) put(i, at(i) * ((i & bit) ? u11 : u00));
+    return;
+  }
+  if (is_zero(u00) && is_zero(u11)) {
+    for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+      const cxd a0 = at(i);
+      put(i, u01 * at(i | bit));
+      put(i | bit, u10 * a0);
+    });
+    return;
+  }
+  for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+    const cxd a0 = at(i);
+    const cxd a1 = at(i | bit);
+    put(i, u00 * a0 + u01 * a1);
+    put(i | bit, u10 * a0 + u11 * a1);
+  });
+}
+
+void BatchedStatevector::sample_lanes(const double* x, const std::uint8_t* active,
+                                      std::uint64_t* out) const {
+  const std::size_t L = lanes_;
+  std::vector<double>& acc = acc_;
+  std::vector<std::uint8_t>& done = done_;
+  std::fill(acc.begin(), acc.end(), 0.0);
+  std::size_t remaining = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    done[l] = active != nullptr && !active[l];
+    if (!done[l]) {
+      out[l] = dim_ - 1;  // rounding-slack fall-through, as in the scalar scan
+      ++remaining;
+    }
+  }
+  if (remaining == 0) return;
+  for (std::uint64_t i = 0; i < dim_; ++i) {
+    const double* __restrict__ r = &re_[i * L];
+    const double* __restrict__ m = &im_[i * L];
+    for (std::size_t l = 0; l < L; ++l) acc[l] += r[l] * r[l] + m[l] * m[l];
+    for (std::size_t l = 0; l < L; ++l) {
+      if (!done[l] && x[l] < acc[l]) {
+        out[l] = i;
+        done[l] = 1;
+        --remaining;
+      }
+    }
+    if (remaining == 0) return;
+  }
+}
+
+void BatchedStatevector::sample_sorted(std::size_t ref_lane,
+                                       const std::pair<double, std::size_t>* draws,
+                                       std::size_t count, std::uint64_t* out) const {
+  if (count == 0) return;
+  const std::size_t L = lanes_;
+  double acc = 0.0;
+  std::size_t d = 0;
+  for (std::uint64_t i = 0; i < dim_ && d < count; ++i) {
+    const double ar = re_[i * L + ref_lane], ai = im_[i * L + ref_lane];
+    acc += ar * ar + ai * ai;
+    while (d < count && draws[d].first < acc) {
+      out[draws[d].second] = i;
+      ++d;
+    }
+  }
+  for (; d < count; ++d) out[draws[d].second] = dim_ - 1;
+}
+
+}  // namespace hgp::sim

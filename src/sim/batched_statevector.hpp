@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/types.hpp"
+
+namespace hgp::sim {
+
+/// B statevector trajectories evolved in lockstep: a structure-of-lanes
+/// layout with separate real/imaginary planes, `re_[i * lanes + l]` holding
+/// the real part of basis index i in lane l. Deterministic gates apply once
+/// across all lanes — the 1q/2q kernels (including the diagonal /
+/// anti-diagonal / permutation fast paths) loop over the contiguous lane
+/// dimension with scalar-broadcast matrix elements, so a single core
+/// auto-vectorizes the inner loop instead of re-dispatching per shot.
+///
+/// Determinism contract: every kernel mirrors the scalar `Statevector`
+/// kernel's complex arithmetic expression-for-expression (same products,
+/// same association, structure dispatch shared via sim/kernel_structure.hpp)
+/// and the build disables FP contraction, so a lane's amplitudes stay
+/// bit-identical (up to the sign of zeros) to a scalar shot evolved through
+/// the same operations — which is what lets the executor pin scalar-vs-
+/// batched counts exactly for every lane count.
+class BatchedStatevector {
+ public:
+  BatchedStatevector(std::size_t num_qubits, std::size_t lanes);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  /// Basis dimension 2^n.
+  std::size_t dim() const { return dim_; }
+  std::size_t lanes() const { return lanes_; }
+
+  /// Every lane back to |0...0>.
+  void reset();
+
+  la::cxd amplitude(std::uint64_t i, std::size_t lane) const;
+  void set_amplitude(std::uint64_t i, std::size_t lane, la::cxd a);
+
+  // ---- broadcast operations (same operator, every lane) ----
+
+  /// Apply a dense k-qubit operator to every lane (first listed qubit =
+  /// least significant sub-index bit, as in Statevector::apply_matrix).
+  void apply_matrix(const la::CMat& u, const std::vector<std::size_t>& qubits);
+
+  /// Multiply the |1>-subspace of qubit q by `ratio` in every lane — the
+  /// half-pass virtual-Z / frame-drift kernel (diag(1, ratio) up to global
+  /// phase). No-op when ratio == 1.
+  void apply_phase_ratio(std::size_t q, la::cxd ratio);
+
+  // ---- per-lane plumbing for the trajectory noise kernels ----
+
+  /// m1[l] = unnormalized |1>-mass of qubit q in lane l (accumulated in
+  /// ascending basis-index order, like the scalar kernel).
+  void masses_one(std::size_t q, double* m1) const;
+
+  /// Fused mass measurement + per-lane damping of qubit q's |1> amplitudes:
+  /// m1[l] accumulates each lane's pre-damp |1> mass while the amplitudes
+  /// are scaled by scale1[l] — the no-jump fast path of thermal relaxation
+  /// (scale1 folds the dephasing sign flip when it fired).
+  void fused_mass_damp(std::size_t q, const double* scale1, double* m1);
+
+  /// Per-lane amplitude-damping branch on qubit q: lanes with take[l] == 1.0
+  /// jump (|1> amplitudes move to |0>, |1> zeroed — scale1[l] must be 0),
+  /// lanes with take[l] == 0.0 keep |0> and scale |1> by scale1[l].
+  void damp_or_jump(std::size_t q, const double* take, const double* scale1);
+
+  /// Apply a 1-qubit operator to one lane only (the rare Pauli-jump path of
+  /// per-lane depolarizing branches). Mirrors the scalar 1q kernels exactly.
+  void apply_matrix_lane(const la::CMat& u, std::size_t q, std::size_t lane);
+
+  // ---- terminal sampling ----
+
+  /// One probability pass for all lanes: out[l] = first basis index i with
+  /// x[l] < sum_{j<=i} |amp_j(l)|^2 (fall-through to dim()-1), matching the
+  /// scalar trajectory sampler. Lanes with active[l] == 0 are skipped
+  /// (their out entry is left untouched); pass active == nullptr for all.
+  void sample_lanes(const double* x, const std::uint8_t* active,
+                    std::uint64_t* out) const;
+
+  /// Shared-state sampling for lanes that took no stochastic branch (their
+  /// amplitudes are bitwise identical): `draws` is (x, lane) sorted
+  /// ascending by x; one accumulate pass over ref_lane emits every outcome.
+  void sample_sorted(std::size_t ref_lane,
+                     const std::pair<double, std::size_t>* draws, std::size_t count,
+                     std::uint64_t* out) const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t lanes_ = 0;
+  std::vector<double> re_, im_;
+  // Gather scratch of the 2q kernels (4 rows x lanes) and sampling scratch,
+  // allocated once so the hot loop never touches the allocator. Instances
+  // are used from one thread at a time (the engine keeps one per worker), so
+  // mutable scratch in const sampling methods is safe.
+  std::vector<double> scratch_re_, scratch_im_;
+  mutable std::vector<double> acc_;
+  mutable std::vector<std::uint8_t> done_;
+};
+
+}  // namespace hgp::sim

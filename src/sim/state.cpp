@@ -46,19 +46,27 @@ void QuantumState::run(const qc::Circuit& circuit) {
 Counts sample_from_probabilities(const std::vector<double>& p, std::size_t shots,
                                  Rng& rng) {
   HGP_REQUIRE(!p.empty(), "sample_from_probabilities: empty distribution");
-  std::vector<double> cdf(p.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    acc += p[i];
-    cdf[i] = acc;
-  }
+  if (shots == 0) return {};
+  double total = 0.0;
+  for (double pi : p) total += pi;
+  // Draw every shot first (the Rng stream is consumed in the same order as
+  // before), then sort the draws so one accumulate pass over p emits all
+  // outcomes — no materialized CDF and no per-shot binary search. Each draw
+  // maps to the same outcome the previous lower_bound(cdf) implementation
+  // produced: the first index whose running sum reaches it.
+  std::vector<double> draws(shots);
+  for (std::size_t s = 0; s < shots; ++s) draws[s] = rng.uniform() * total;
+  std::sort(draws.begin(), draws.end());
   Counts counts;
-  for (std::size_t s = 0; s < shots; ++s) {
-    const double x = rng.uniform() * acc;
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
-    const auto idx = static_cast<std::uint64_t>(it - cdf.begin());
-    ++counts[std::min<std::uint64_t>(idx, p.size() - 1)];
+  double acc = 0.0;
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < p.size() && d < shots; ++i) {
+    acc += p[i];
+    const std::size_t start = d;
+    while (d < shots && draws[d] <= acc) ++d;
+    if (d > start) counts[i] += d - start;
   }
+  if (d < shots) counts[p.size() - 1] += shots - d;  // rounding slack
   return counts;
 }
 

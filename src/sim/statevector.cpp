@@ -1,40 +1,20 @@
 #include "sim/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "linalg/vec.hpp"
+#include "sim/kernel_structure.hpp"
 
 namespace hgp::sim {
 
 using la::cxd;
 using la::CMat;
 using la::CVec;
-
-namespace {
-
-inline bool is_zero(const cxd& x) { return x.real() == 0.0 && x.imag() == 0.0; }
-
-/// Iterate f(i) over all basis indices with bit `b` clear — nested block
-/// iteration touches exactly size/2 indices instead of a skip-test over all.
-template <typename F>
-inline void for_each_pair_base(std::uint64_t size, std::uint64_t b, F&& f) {
-  for (std::uint64_t base = 0; base < size; base += 2 * b)
-    for (std::uint64_t i = base; i < base + b; ++i) f(i);
-}
-
-/// Iterate f(i) over all basis indices with both bits clear (size/4 visits).
-template <typename F>
-inline void for_each_quad_base(std::uint64_t size, std::uint64_t b0, std::uint64_t b1,
-                               F&& f) {
-  const std::uint64_t blo = std::min(b0, b1);
-  const std::uint64_t bhi = std::max(b0, b1);
-  for (std::uint64_t outer = 0; outer < size; outer += 2 * bhi)
-    for (std::uint64_t mid = outer; mid < outer + bhi; mid += 2 * blo)
-      for (std::uint64_t i = mid; i < mid + blo; ++i) f(i);
-}
-
-}  // namespace
+using detail::for_each_pair_base;
+using detail::for_each_quad_base;
+using detail::is_zero;
 
 Statevector::Statevector(std::size_t num_qubits)
     : num_qubits_(num_qubits), amp_(std::size_t{1} << num_qubits, cxd{0.0, 0.0}) {
@@ -98,14 +78,7 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
     const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
     const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
 
-    bool diagonal = true;
-    for (std::size_t r = 0; r < 4 && diagonal; ++r)
-      for (std::size_t c = 0; c < 4; ++c)
-        if (r != c && !is_zero(u(r, c))) {
-          diagonal = false;
-          break;
-        }
-    if (diagonal) {
+    if (detail::is_diagonal4(u)) {
       // Diagonal (RZZ/CZ/CPhase): one phase multiply per amplitude.
       const cxd d[4] = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
       for (std::uint64_t i = 0; i < amp_.size(); ++i) {
@@ -119,26 +92,8 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
     // column, all target rows distinct — a gather/scatter with phases
     // instead of a dense 4x4 product. (A non-unitary operator repeating a
     // target row must fall through to the dense path.)
-    std::size_t perm[4];
-    cxd phase[4];
-    bool row_used[4] = {false, false, false, false};
-    bool permutation = true;
-    for (std::size_t c = 0; c < 4 && permutation; ++c) {
-      std::size_t nonzero = 0, row = 0;
-      for (std::size_t r = 0; r < 4; ++r)
-        if (!is_zero(u(r, c))) {
-          ++nonzero;
-          row = r;
-        }
-      if (nonzero != 1 || row_used[row]) {
-        permutation = false;
-        break;
-      }
-      row_used[row] = true;
-      perm[c] = row;
-      phase[c] = u(row, c);
-    }
-    if (permutation) {
+    detail::Perm4 p4;
+    if (detail::as_permutation4(u, p4)) {
       const std::uint64_t sub_bit[2] = {b0, b1};
       std::uint64_t offset[4];
       for (std::size_t s = 0; s < 4; ++s)
@@ -146,7 +101,7 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
       for_each_quad_base(amp_.size(), b0, b1, [&](std::uint64_t i) {
         cxd a[4];
         for (std::size_t s = 0; s < 4; ++s) a[s] = amp_[i | offset[s]];
-        for (std::size_t s = 0; s < 4; ++s) amp_[i | offset[perm[s]]] = phase[s] * a[s];
+        for (std::size_t s = 0; s < 4; ++s) amp_[i | offset[p4.perm[s]]] = p4.phase[s] * a[s];
       });
       return;
     }
@@ -162,16 +117,20 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
     return;
   }
 
-  // Generic k-qubit path.
+  // Generic k-qubit path: enumerate the 2^(n-k) block-base indices directly
+  // (insert a zero bit at each target position, ascending — same trick as
+  // for_each_pair_base) instead of a skip test over all 2^n indices, so a
+  // 3q+ operator no longer pays a full-register iteration tax.
   const std::size_t dim = std::size_t{1} << k;
   std::vector<std::uint64_t> masks(k);
   for (std::size_t j = 0; j < k; ++j) masks[j] = std::uint64_t{1} << qubits[j];
-  std::uint64_t outer_mask = 0;
-  for (auto m : masks) outer_mask |= m;
+  std::vector<std::uint64_t> sorted_masks = masks;
+  std::sort(sorted_masks.begin(), sorted_masks.end());
 
   std::vector<cxd> local(dim);
-  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
-    if (i & outer_mask) continue;
+  const std::uint64_t num_bases = amp_.size() >> k;
+  for (std::uint64_t t = 0; t < num_bases; ++t) {
+    const std::uint64_t i = detail::expand_base(t, sorted_masks.data(), k);
     for (std::uint64_t s = 0; s < dim; ++s) {
       std::uint64_t idx = i;
       for (std::size_t j = 0; j < k; ++j)

@@ -70,6 +70,28 @@ TEST(Statevector, GenericThreeQubitPathMatchesTwoQubitFastPath) {
   EXPECT_LT(la::max_abs_diff(a.data(), b.data()), 1e-12);
 }
 
+TEST(Statevector, GenericPathScatteredQubitsMatchesFactoredApplication) {
+  // The generic k-qubit path's block enumeration must hit exactly the
+  // indices with all target bits clear even when the targets are scattered
+  // (and listed out of ascending order): A⊗B⊗C on {5, 0, 3} equals the
+  // factors applied separately (C on sub-bit 0 = qubit 5, per the
+  // first-listed-is-least-significant convention).
+  Statevector a(6), b(6);
+  Circuit prep(6);
+  prep.h(0).ry(3, 0.7).cx(0, 5).rz(5, -0.3).ry(1, 0.4).cx(3, 4);
+  a.run(prep);
+  b.run(prep);
+
+  const auto sx = qc::gate_matrix(GateKind::SX);
+  const auto rz = qc::gate_matrix(GateKind::RZ, {0.9});
+  const auto ry = qc::gate_matrix(GateKind::RY, {1.3});
+  a.apply_matrix(la::kron(ry, la::kron(rz, sx)), {5, 0, 3});
+  b.apply_matrix(sx, {5});
+  b.apply_matrix(rz, {0});
+  b.apply_matrix(ry, {3});
+  EXPECT_LT(la::max_abs_diff(a.data(), b.data()), 1e-12);
+}
+
 TEST(Statevector, SamplingMatchesProbabilities) {
   Statevector sv(2);
   Circuit c(2);

@@ -3,6 +3,7 @@
 // matrix's sampling/collapse surface.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuit/circuit.hpp"
@@ -120,6 +121,36 @@ TEST(Density, NormalizeRestoresUnitTrace) {
   EXPECT_LT(dm.trace(), 1.0);
   dm.normalize();
   EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(SampleFromProbabilities, SortedPassMatchesLowerBoundReference) {
+  // The sorted-draw single-pass sampler must map every draw to the same
+  // outcome as the previous materialized-CDF lower_bound implementation
+  // (first index whose running sum reaches the draw), including interior
+  // zero-probability entries and an unnormalized distribution.
+  const std::vector<double> p = {0.1, 0.0, 0.25, 0.3, 0.0, 0.55, 0.0};
+  Rng got_rng(7), ref_rng(7);
+  const sim::Counts got = sim::sample_from_probabilities(p, 2000, got_rng);
+
+  std::vector<double> cdf(p.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    cdf[i] = acc;
+  }
+  sim::Counts ref;
+  for (std::size_t s = 0; s < 2000; ++s) {
+    const double x = ref_rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+    const auto idx = static_cast<std::uint64_t>(it - cdf.begin());
+    ++ref[std::min<std::uint64_t>(idx, p.size() - 1)];
+  }
+  EXPECT_EQ(got, ref);
+  // Zero-probability entries never get a count.
+  EXPECT_EQ(got.count(1), 0u);
+  EXPECT_EQ(got.count(4), 0u);
+  // The consumed stream length is shot-count-deterministic.
+  EXPECT_EQ(got_rng.next_u64(), ref_rng.next_u64());
 }
 
 TEST(QuantumState, SampleOneMatchesSampleStatistics) {
