@@ -7,6 +7,10 @@
 //
 //   bench_sweep [workers]            (default 4)
 //   HGP_SHOTS / HGP_EVALS            scale the per-run budget (smoke mode)
+//   HGP_BLOCK_STORE                  persistent compiled-block store path
+//                                    ("" = off); the JSON's store counters
+//                                    then separate disk-warmed hits from
+//                                    in-process ones
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -64,8 +68,10 @@ int main(int argc, char** argv) {
     sequential.push_back(core::run_qaoa(job.instance, *job.dev, job.kind, job.config));
   const double seq_s = seconds_since(t_seq);
 
-  // The service: shared pool + shared compiled-block cache.
-  serve::SweepRunner runner(serve::SweepRunner::Options{workers, 8192});
+  // The service: shared pool + shared compiled-block cache (persisted to
+  // HGP_BLOCK_STORE when set — a second invocation then starts disk-warm).
+  serve::SweepRunner runner(serve::SweepRunner::Options{
+      workers, 8192, benchutil::env_or_str("HGP_BLOCK_STORE", "")});
   const auto t_par = std::chrono::steady_clock::now();
   const std::vector<core::RunResult> parallel = runner.run_all(jobs);
   const double par_s = seconds_since(t_par);
@@ -91,6 +97,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.gate_misses),
               static_cast<unsigned long long>(cache.pulse_hits),
               static_cast<unsigned long long>(cache.pulse_misses));
+  if (cache.store_loaded > 0 || cache.store_hits > 0 || cache.store_misses > 0)
+    std::printf("  persistent store: %llu loaded, disk-warmed hits %llu / misses %llu "
+                "(rate %.1f%%)\n",
+                static_cast<unsigned long long>(cache.store_loaded),
+                static_cast<unsigned long long>(cache.store_hits),
+                static_cast<unsigned long long>(cache.store_misses),
+                100.0 * cache.store_hit_rate());
 
   std::ofstream json("BENCH_sweep.json");
   json << "{\n"
@@ -107,7 +120,11 @@ int main(int argc, char** argv) {
        << ", \"evictions\": " << cache.evictions << ", \"hit_rate\": " << cache.hit_rate()
        << ", \"gate_hits\": " << cache.gate_hits << ", \"gate_misses\": " << cache.gate_misses
        << ", \"pulse_hits\": " << cache.pulse_hits
-       << ", \"pulse_misses\": " << cache.pulse_misses << "}\n"
+       << ", \"pulse_misses\": " << cache.pulse_misses
+       << ", \"store_hits\": " << cache.store_hits
+       << ", \"store_misses\": " << cache.store_misses
+       << ", \"store_loaded\": " << cache.store_loaded
+       << ", \"store_hit_rate\": " << cache.store_hit_rate() << "}\n"
        << "}\n";
   std::printf("wrote BENCH_sweep.json\n");
   return identical ? 0 : 1;

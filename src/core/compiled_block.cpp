@@ -1,0 +1,39 @@
+#include "core/compiled_block.hpp"
+
+namespace hgp::core {
+
+void CompiledBlock::serialize(std::string& out) const {
+  io::Writer w(out);
+  w.u32(static_cast<std::uint32_t>(qubits.size()));
+  for (const std::size_t q : qubits) w.u64(q);
+  w.i32(duration_dt);
+  w.u64(drive_plays);
+  w.u64(cr_halves);
+  w.u8(static_cast<std::uint8_t>((virtual_only ? 1 : 0) | (explicit_idle ? 2 : 0)));
+  w.mat(unitary);
+}
+
+bool CompiledBlock::deserialize(io::Reader& in, CompiledBlock& out) {
+  std::uint32_t nq = 0;
+  if (!in.u32(nq) || std::uint64_t{nq} * sizeof(std::uint64_t) > in.remaining())
+    return false;
+  out.qubits.resize(nq);
+  for (std::uint32_t i = 0; i < nq; ++i) {
+    std::uint64_t q = 0;
+    if (!in.u64(q)) return false;
+    out.qubits[i] = static_cast<std::size_t>(q);
+  }
+  std::int32_t duration = 0;
+  std::uint64_t drive = 0, cr = 0;
+  std::uint8_t flags = 0;
+  if (!in.i32(duration) || !in.u64(drive) || !in.u64(cr) || !in.u8(flags))
+    return false;
+  out.duration_dt = duration;
+  out.drive_plays = static_cast<std::size_t>(drive);
+  out.cr_halves = static_cast<std::size_t>(cr);
+  out.virtual_only = (flags & 1) != 0;
+  out.explicit_idle = (flags & 2) != 0;
+  return in.mat(out.unitary);
+}
+
+}  // namespace hgp::core

@@ -253,6 +253,12 @@ Executor::Executor(const backend::FakeBackend& dev, ExecutorOptions options)
   cache_ = options_.block_cache
                ? options_.block_cache
                : std::make_shared<serve::BlockCache>(options_.block_cache_capacity);
+  // Warm-start from (and write through to) the persistent store. The store
+  // header carries the writing backend's fingerprint, so a recalibrated
+  // device loads nothing and resets the file instead of replaying stale
+  // blocks; attach is a no-op when a shared cache already holds this store.
+  if (!options_.block_store_path.empty())
+    cache_->attach_store(options_.block_store_path, dev_.fingerprint());
 }
 
 CMat Executor::simulate_block(const pulse::Schedule& physical_sched,
@@ -384,7 +390,7 @@ CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
                       block.unitary;
     }
   }
-  cache_->insert(cache_key, block);
+  cache_->insert(cache_key, block, kind, dev_.fingerprint());
   return block;
 }
 

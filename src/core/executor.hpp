@@ -64,6 +64,15 @@ struct ExecutorOptions {
   /// LRU bound of the private per-executor cache (ignored when a shared
   /// cache is injected).
   std::size_t block_cache_capacity = 512;
+  /// Non-empty = persistent compiled-block store: the cache warm-starts from
+  /// this serve::BlockStore file (entries from another process or host load
+  /// by content, validated per record) and writes every new compilation
+  /// through, so the next process skips the pulse-ODE compilations entirely.
+  /// A store written by a different calibration (backend fingerprint
+  /// mismatch), foreign format version, or corrupted file degrades to cold
+  /// compilation — never an error. On a shared cache the first attach wins;
+  /// later executors reuse the already-attached store.
+  std::string block_store_path;
 };
 
 /// Timing/duration report of one executed program.

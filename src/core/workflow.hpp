@@ -38,6 +38,10 @@ struct RunConfig {
   /// Lockstep lanes of the batched trajectory engine (0/1 = scalar per-shot
   /// loop). Counts are bit-identical for every value.
   std::size_t shot_batch_lanes = core::kDefaultShotBatchLanes;
+  /// Non-empty = persistent compiled-block store (see
+  /// ExecutorOptions::block_store_path): the run warm-starts from blocks
+  /// another process compiled for the same calibration and persists its own.
+  std::string block_store_path;
   /// Shots for the M3 readout-calibration programs.
   std::size_t calibration_shots = 4096;
   ModelConfig model;

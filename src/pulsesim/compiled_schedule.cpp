@@ -1,0 +1,46 @@
+#include "pulsesim/compiled_schedule.hpp"
+
+namespace hgp::psim {
+
+void CompiledSchedule::serialize(std::string& out) const {
+  io::Writer w(out);
+  w.i32(duration_);
+  w.u8(integrator_ == Integrator::Rk4 ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(steps_.size()));
+  for (const CompiledStep& s : steps_) {
+    w.f64(s.tau);
+    w.u8(s.has_drive ? 1 : 0);
+    w.mat(s.h);
+  }
+  w.u32(static_cast<std::uint32_t>(props_.size()));
+  for (const la::CMat& p : props_) w.mat(p);
+}
+
+bool CompiledSchedule::deserialize(io::Reader& in, CompiledSchedule& out) {
+  std::int32_t duration = 0;
+  std::uint8_t integrator = 0;
+  std::uint32_t num_steps = 0;
+  if (!in.i32(duration) || !in.u8(integrator) || !in.u32(num_steps)) return false;
+  out.duration_ = duration;
+  out.integrator_ = integrator == 1 ? Integrator::Rk4 : Integrator::Exact;
+  // Every step occupies at least (tau, has_drive, empty mat) = 17 bytes —
+  // bound the reserve so a corrupted count cannot balloon memory.
+  if (std::uint64_t{num_steps} * 17 > in.remaining()) return false;
+  out.steps_.clear();
+  out.steps_.resize(num_steps);
+  for (CompiledStep& s : out.steps_) {
+    std::uint8_t drive = 0;
+    if (!in.f64(s.tau) || !in.u8(drive) || !in.mat(s.h)) return false;
+    s.has_drive = drive != 0;
+  }
+  std::uint32_t num_props = 0;
+  if (!in.u32(num_props) || std::uint64_t{num_props} * 8 > in.remaining())
+    return false;
+  out.props_.clear();
+  out.props_.resize(num_props);
+  for (la::CMat& p : out.props_)
+    if (!in.mat(p)) return false;
+  return true;
+}
+
+}  // namespace hgp::psim

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "linalg/matrix.hpp"
 
 namespace hgp::psim {
@@ -45,6 +47,17 @@ class CompiledSchedule {
   /// idle (no-drive) steps carry one — drive steps integrate from the
   /// sampled Hamiltonian and their slots are empty matrices.
   const std::vector<la::CMat>& step_propagators() const { return props_; }
+
+  /// Append the IR to `out` in the store's binary encoding (steps, sampled
+  /// Hamiltonians where retained, and precomputed propagators — all by
+  /// IEEE-754 bit pattern, so evolve() over a deserialized IR is
+  /// bit-identical to the original). This is the payload format a persistent
+  /// compiled-IR cache shares across processes, the same way
+  /// serve::BlockStore ships compiled block unitaries.
+  void serialize(std::string& out) const;
+  /// Decode one IR from `in`. False on truncated/malformed input; never
+  /// throws.
+  static bool deserialize(io::Reader& in, CompiledSchedule& out);
 
  private:
   friend class PulseSimulator;

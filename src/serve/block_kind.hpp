@@ -1,0 +1,14 @@
+#pragma once
+
+namespace hgp::serve {
+
+/// What kind of program step a cached block was compiled from. Gate blocks
+/// key on (gate kind, qubits, exact parameters, schedule duration); pulse
+/// blocks key on the physical qubits plus the schedule's content
+/// fingerprint. The cache treats both uniformly — the kind only routes the
+/// per-kind hit/miss accounting (and tags the on-disk store records), so a
+/// sweep's stats show whether the expensive pulse-ODE compilations (the
+/// hybrid model's trainable mixer layers) are actually being shared.
+enum class BlockKind { Gate, Pulse };
+
+}  // namespace hgp::serve

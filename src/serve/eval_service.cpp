@@ -5,7 +5,8 @@
 namespace hgp::serve {
 
 EvalService::EvalService(Options options)
-    : cache_(std::make_shared<BlockCache>(options.cache_capacity)) {
+    : cache_(std::make_shared<BlockCache>(options.cache_capacity)),
+      block_store_path_(std::move(options.block_store_path)) {
   const std::size_t n = options.num_workers != 0
                             ? options.num_workers
                             : std::max<std::size_t>(1, std::thread::hardware_concurrency());

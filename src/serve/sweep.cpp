@@ -5,7 +5,8 @@
 namespace hgp::serve {
 
 SweepRunner::SweepRunner(Options options)
-    : service_(EvalService::Options{options.num_workers, options.cache_capacity}) {}
+    : service_(EvalService::Options{options.num_workers, options.cache_capacity,
+                                    std::move(options.block_store_path)}) {}
 
 std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
   HGP_REQUIRE(job.dev != nullptr, "SweepRunner: job '" + job.label + "' has no backend");
@@ -14,6 +15,10 @@ std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
   // and oversubscribe the machine. Counts are bit-identical for any thread
   // count, so this changes scheduling only, never results.
   if (job.config.executor_threads == 0) job.config.executor_threads = 1;
+  // Runs inherit the sweep-wide persistent store unless they bring their
+  // own; the first executor to construct attaches it to the shared cache.
+  if (job.config.block_store_path.empty())
+    job.config.block_store_path = service_.block_store_path();
   return service_.submit([this, job = std::move(job)] {
     return core::run_qaoa(job.instance, *job.dev, job.kind, job.config, &service_,
                           service_.block_cache());

@@ -36,6 +36,12 @@ class SweepRunner {
     std::size_t num_workers = 0;
     /// LRU bound of the shared compiled-block cache.
     std::size_t cache_capacity = 8192;
+    /// Non-empty = persistent compiled-block store for the whole grid: the
+    /// shared cache warm-starts from it and every worker writes new
+    /// compilations through, so a later sweep (or another host holding the
+    /// file) starts warm. Jobs without their own RunConfig::block_store_path
+    /// inherit this one.
+    std::string block_store_path;
   };
 
   SweepRunner() : SweepRunner(Options{}) {}
