@@ -160,6 +160,92 @@ BENCHMARK(BM_Lanes2qRzzDiagonalBatched)->Args({12, 16});
 BENCHMARK(BM_Lanes2qDenseScalar)->Args({12, 16});
 BENCHMARK(BM_Lanes2qDenseBatched)->Args({12, 16});
 
+// ---- candidate-lane kernels: each lane carries its own parameters ----------
+//
+// Candidate-lane batching (run_expectation_batch) evolves K parameter
+// candidates as lanes, so parameterized blocks apply a *different* unitary
+// per lane. The per-lane-theta RZZ pair isolates that kernel: scalar row =
+// K statevectors each applying its own RZZ(theta_k), batched row = one
+// apply_matrix_per_lane over the K lanes.
+
+static void BM_LanesPerLaneThetaRzzScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  std::vector<sim::Statevector> svs(lanes, sim::Statevector(n));
+  std::vector<la::CMat> us;
+  for (std::size_t l = 0; l < lanes; ++l)
+    us.push_back(qc::gate_matrix(qc::GateKind::RZZ, {0.37 + 0.01 * static_cast<double>(l)}));
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < lanes; ++l) svs[l].apply_matrix(us[l], {0, 1});
+    benchmark::DoNotOptimize(svs[0].data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+static void BM_LanesPerLaneThetaRzzBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  sim::BatchedStatevector bsv(n, lanes);
+  std::vector<la::CMat> us;
+  for (std::size_t l = 0; l < lanes; ++l)
+    us.push_back(qc::gate_matrix(qc::GateKind::RZZ, {0.37 + 0.01 * static_cast<double>(l)}));
+  for (auto _ : state) {
+    bsv.apply_matrix_per_lane(us, {0, 1});
+    benchmark::DoNotOptimize(&bsv);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+BENCHMARK(BM_LanesPerLaneThetaRzzScalar)->Args({12, 16});
+BENCHMARK(BM_LanesPerLaneThetaRzzBatched)->Args({12, 16});
+
+// The lane expectation pass: the sampling-free objective reduction
+// sum_i v[i]*|amp_i|^2 per lane. Scalar row = per-statevector amplitude
+// walk, batched row = one weighted_masses sweep over the lane-major layout.
+
+static void BM_LanesExpectationScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const std::size_t dim = std::size_t{1} << n;
+  std::vector<sim::Statevector> svs(lanes, sim::Statevector(n));
+  for (auto& sv : svs) sv.apply_matrix(qc::gate_matrix(qc::GateKind::SX), {0});
+  std::vector<double> values(dim);
+  for (std::size_t i = 0; i < dim; ++i) values[i] = static_cast<double>(i % 7);
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (auto& sv : svs) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double m = std::norm(sv.data()[i]);
+        num += values[i] * m;
+        den += m;
+      }
+      sink += num / den;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+static void BM_LanesExpectationBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const std::size_t dim = std::size_t{1} << n;
+  sim::BatchedStatevector bsv(n, lanes);
+  bsv.apply_matrix(qc::gate_matrix(qc::GateKind::SX), {0});
+  std::vector<double> values(dim);
+  for (std::size_t i = 0; i < dim; ++i) values[i] = static_cast<double>(i % 7);
+  std::vector<double> num(lanes), den(lanes);
+  for (auto _ : state) {
+    bsv.weighted_masses(values.data(), num.data(), den.data());
+    benchmark::DoNotOptimize(num.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+  state.SetLabel(std::to_string(n) + "q x" + std::to_string(lanes) + " lanes");
+}
+BENCHMARK(BM_LanesExpectationScalar)->Args({12, 16});
+BENCHMARK(BM_LanesExpectationBatched)->Args({12, 16});
+
 // ---- executor engines: the per-evaluation hot path --------------------------
 
 static void BM_ExecutorTrajectory(benchmark::State& state) {

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "mitigation/cvar.hpp"
 #include "noise/channels.hpp"
 #include "pulsesim/simulator.hpp"
 #include "sim/kernel_structure.hpp"
@@ -141,10 +142,7 @@ void traj_rz(sim::Statevector& sv, std::size_t q, double angle) {
   traj_phase(sv, q, std::polar(1.0, angle));
 }
 
-/// True when u is a diagonal 2x2.
-bool is_diagonal2(const la::CMat& u) {
-  return u.rows() == 2 && u(0, 1) == la::cxd{0.0, 0.0} && u(1, 0) == la::cxd{0.0, 0.0};
-}
+using sim::detail::is_diagonal2;
 
 /// Single-outcome measurement of the unnormalized state.
 std::uint64_t traj_sample_one(const sim::Statevector& sv, double weight, Rng& rng) {
@@ -214,7 +212,8 @@ void walk_noise_timeline(const CompiledProgram& cp, double dep1, double dep2,
 struct LaneWorkspace {
   std::vector<Rng> rngs;
   std::vector<double> weight, x, m1, take, scale1;
-  std::vector<std::uint8_t> diverged, precheck, flip;
+  std::vector<std::uint8_t> diverged, precheck, flip, codes;
+  std::vector<int> picks;
   std::vector<std::uint64_t> bits;
   std::vector<std::pair<double, std::size_t>> clean;
 };
@@ -233,6 +232,62 @@ std::uint64_t apply_readout_flips(std::uint64_t bits, const CompiledProgram& cp,
   return bits;
 }
 
+/// Fixed-grid batch scheduler shared by every trajectory reduction: run
+/// fn(b) over the batch grid either serially or on an atomic work-stealing
+/// pool. The grid itself never depends on the thread count, so results
+/// merged in batch order are identical for every value of num_threads.
+template <typename Fn>
+void for_each_batch(std::size_t num_batches, std::size_t num_threads, Fn&& fn) {
+  std::size_t threads =
+      num_threads ? num_threads : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, num_batches);
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < num_batches; ++b) fn(b);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      try {
+        for (std::size_t b = next.fetch_add(1); b < num_batches; b = next.fetch_add(1))
+          fn(b);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Delta-compilation equality for candidate-lane batching: two ops share a
+/// timeline structure when they agree on everything except parameter values,
+/// and share a block unitary when the parameter values agree exactly too.
+bool same_op_structure(const ExecOp& a, const ExecOp& b) {
+  if (a.is_pulse != b.is_pulse) return false;
+  if (a.is_pulse) return a.qubits == b.qubits;
+  return a.gate.kind == b.gate.kind && a.gate.qubits == b.gate.qubits &&
+         a.gate.params.size() == b.gate.params.size();
+}
+
+bool same_op_unitary(const ExecOp& a, const ExecOp& b) {
+  if (a.is_pulse)
+    return a.schedule.duration() == b.schedule.duration() &&
+           a.schedule.fingerprint() == b.schedule.fingerprint();
+  for (std::size_t i = 0; i < a.gate.params.size(); ++i) {
+    const qc::Param& pa = a.gate.params[i];
+    const qc::Param& pb = b.gate.params[i];
+    if (pa.index() != pb.index() || pa.scale() != pb.scale() || pa.offset() != pb.offset())
+      return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Engine engine_from_name(const std::string& name) {
@@ -246,6 +301,28 @@ const std::string& engine_name(Engine engine) {
   static const std::string traj = "trajectory";
   static const std::string dens = "density";
   return engine == Engine::Trajectory ? traj : dens;
+}
+
+ObjectiveKind objective_from_name(const std::string& name) {
+  if (name == "sample") return ObjectiveKind::Sample;
+  if (name == "expectation") return ObjectiveKind::Expectation;
+  if (name == "cvar") return ObjectiveKind::CVaR;
+  throw Error("objective_from_name: unknown objective '" + name +
+              "' (expected 'sample', 'expectation', or 'cvar')");
+}
+
+const std::string& objective_name(ObjectiveKind kind) {
+  static const std::string sample = "sample";
+  static const std::string expectation = "expectation";
+  static const std::string cvar = "cvar";
+  switch (kind) {
+    case ObjectiveKind::Sample:
+      return sample;
+    case ObjectiveKind::Expectation:
+      return expectation;
+    default:
+      return cvar;
+  }
 }
 
 Executor::Executor(const backend::FakeBackend& dev, ExecutorOptions options)
@@ -419,9 +496,11 @@ CompiledProgram Executor::compile_program(const Program& program,
   // they commute with idle relaxation/drift up to a trajectory-global phase,
   // and a fold halves the per-shot apply count of RZ-heavy programs.
   cp.clock.assign(cp.touched.size(), 0);
+  cp.op_slot.assign(program.ops.size(), -1);
   std::vector<long> pending_virtual(cp.touched.size(), -1);
 
-  for (const ExecOp& op : program.ops) {
+  for (std::size_t oi = 0; oi < program.ops.size(); ++oi) {
+    const ExecOp& op = program.ops[oi];
     if (!op.is_pulse && op.gate.kind == qc::GateKind::Barrier) {
       const int t = *std::max_element(cp.clock.begin(), cp.clock.end());
       std::fill(cp.clock.begin(), cp.clock.end(), t);
@@ -437,11 +516,13 @@ CompiledProgram Executor::compile_program(const Program& program,
       if (pending_virtual[lq] >= 0) {
         CompiledBlock& pending = cp.timeline[pending_virtual[lq]].block;
         pending.unitary = s.block.unitary * pending.unitary;
+        cp.op_slot[oi] = pending_virtual[lq];
         continue;
       }
       s.idle_before_dt.push_back(0);
       cp.timeline.push_back(std::move(s));
       pending_virtual[lq] = static_cast<long>(cp.timeline.size()) - 1;
+      cp.op_slot[oi] = pending_virtual[lq];
       continue;
     }
 
@@ -453,6 +534,7 @@ CompiledProgram Executor::compile_program(const Program& program,
       pending_virtual[lq] = -1;
     }
     cp.timeline.push_back(std::move(s));
+    cp.op_slot[oi] = static_cast<long>(cp.timeline.size()) - 1;
   }
   cp.makespan_dt =
       cp.clock.empty() ? 0 : *std::max_element(cp.clock.begin(), cp.clock.end());
@@ -520,11 +602,19 @@ void Executor::run_one_shot(const CompiledProgram& cp, sim::Statevector& sv, Rng
   ++out[map_bits(bits, cp)];
 }
 
-void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector& bsv,
-                              std::uint64_t rng_base, std::size_t first_shot,
-                              sim::Counts& out) const {
+namespace {
+
+/// Evolve bsv.lanes() trajectories in lockstep through the compiled
+/// timeline — the shared noise walk of run_lane_group (which samples the
+/// terminal states) and Executor::run_expectation (which reduces them
+/// exactly). Fills and returns the thread-local workspace: per-lane child
+/// streams positioned after the last noise draw, deferred-normalization
+/// weights, and diverged flags.
+LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptions& options,
+                            const CompiledProgram& cp, sim::BatchedStatevector& bsv,
+                            std::uint64_t rng_base, std::size_t first_shot) {
   const std::size_t nl = bsv.lanes();
-  const noise::NoiseModel& nm = dev_.noise_model();
+  const noise::NoiseModel& nm = dev.noise_model();
   const double dep1 = nm.dep_per_1q_pulse;
   const double dep2 = nm.dep_per_2q_block;
 
@@ -616,27 +706,54 @@ void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector
     }
   };
   auto idle_drift = [&](std::size_t lq, int duration_dt) {
-    if (duration_dt <= 0 || !options_.coherent_noise) return;
+    if (duration_dt <= 0 || !options.coherent_noise) return;
     const double drift = nm.qubits[cp.touched[lq]].freq_drift_ghz;
     if (drift == 0.0) return;
     const double angle = 2.0 * la::kPi * drift * duration_dt * pulse::kDtNs;
     bsv.apply_phase_ratio(lq, std::polar(1.0, angle));
   };
+  // Depolarizing charges: draw every lane's Pauli pick first (per-lane
+  // stream order unchanged), then walk the block's qubits once. A qubit
+  // where two or more lanes drew a non-identity Pauli takes the grouped
+  /// one-sweep Pauli pass; a lone charged lane keeps the strided per-lane
+  // apply. Both are bitwise identical to the per-lane path, so the grouping
+  // threshold is purely a throughput choice — at large dep rates most
+  // charges fold into the grouped sweep.
+  std::vector<int>& picks = ws.picks;
+  std::vector<std::uint8_t>& codes = ws.codes;
+  picks.resize(nl);
+  codes.resize(nl);
   auto depolarize = [&](const std::vector<std::size_t>& qubits, double p) {
+    std::size_t charged = 0;
     for (std::size_t l = 0; l < nl; ++l) {
-      const int pick = noise::sample_depolarizing(qubits.size(), p, rngs[l]);
-      if (pick == 0) continue;
-      diverged[l] = 1;
-      for (std::size_t i = 0; i < qubits.size(); ++i) {
-        const int pauli = (pick >> (2 * i)) & 3;
-        if (pauli == 0) continue;
-        bsv.apply_matrix_lane(la::pauli_matrix(static_cast<la::Pauli>(pauli)), qubits[i], l);
+      picks[l] = noise::sample_depolarizing(qubits.size(), p, rngs[l]);
+      if (picks[l] != 0) {
+        diverged[l] = 1;
+        ++charged;
+      }
+    }
+    if (charged == 0) return;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      std::size_t active = 0, last = 0;
+      for (std::size_t l = 0; l < nl; ++l) {
+        codes[l] = static_cast<std::uint8_t>((picks[l] >> (2 * i)) & 3);
+        if (codes[l] != 0) {
+          ++active;
+          last = l;
+        }
+      }
+      if (active == 0) continue;
+      if (active == 1) {
+        bsv.apply_matrix_lane(la::pauli_matrix(static_cast<la::Pauli>(codes[last])),
+                              qubits[i], last);
+      } else {
+        bsv.apply_pauli_lanes(qubits[i], codes.data());
       }
     }
   };
 
   walk_noise_timeline(
-      cp, dep1, dep2, dev_.readout_duration_dt(), relax, idle_drift,
+      cp, dep1, dep2, dev.readout_duration_dt(), relax, idle_drift,
       [&](std::size_t lq, la::cxd ratio, const la::CMat&) {
         bsv.apply_phase_ratio(lq, ratio);
       },
@@ -644,6 +761,21 @@ void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector
         bsv.apply_matrix(u, locals);
       },
       depolarize);
+  return ws;
+}
+
+}  // namespace
+
+void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector& bsv,
+                              std::uint64_t rng_base, std::size_t first_shot,
+                              sim::Counts& out) const {
+  const std::size_t nl = bsv.lanes();
+  const noise::NoiseModel& nm = dev_.noise_model();
+  LaneWorkspace& ws = evolve_lanes(dev_, options_, cp, bsv, rng_base, first_shot);
+  std::vector<Rng>& rngs = ws.rngs;
+  std::vector<double>& weight = ws.weight;
+  std::vector<std::uint8_t>& diverged = ws.diverged;
+  std::vector<double>& x = ws.x;
 
   // Terminal sampling: per-lane stream order is one uniform, then the
   // readout flips. Lanes that never took a stochastic branch are bitwise
@@ -713,32 +845,7 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
     }
   };
 
-  std::size_t threads =
-      options_.num_threads ? options_.num_threads
-                           : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, num_batches);
-  if (threads <= 1) {
-    for (std::size_t b = 0; b < num_batches; ++b) run_batch(b);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        try {
-          for (std::size_t b = next.fetch_add(1); b < num_batches; b = next.fetch_add(1))
-            run_batch(b);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-    }
-    for (std::thread& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  for_each_batch(num_batches, options_.num_threads, run_batch);
 
   // Deterministic merge: batch order is fixed and count addition commutes.
   sim::Counts out;
@@ -749,6 +856,12 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
 
 sim::Counts Executor::run_exact_density(const CompiledProgram& cp, std::size_t shots,
                                         Rng& rng) const {
+  // The only stochastic element: multinomial shot noise on the exact
+  // distribution.
+  return sim::sample_from_probabilities(density_distribution(cp), shots, rng);
+}
+
+std::vector<double> Executor::density_distribution(const CompiledProgram& cp) const {
   const noise::NoiseModel& nm = dev_.noise_model();
   sim::DensityMatrix dm(cp.touched.size());
 
@@ -797,14 +910,10 @@ sim::Counts Executor::run_exact_density(const CompiledProgram& cp, std::size_t s
     }
   }
 
-  // The only stochastic element left: multinomial shot noise on the exact
-  // distribution.
-  return sim::sample_from_probabilities(p, shots, rng);
+  return p;
 }
 
-sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
-  HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
-
+void Executor::refresh_key_prefix() {
   // Refresh the cache-key prefix each run so a recalibrated (or
   // noise-model-mutated) backend never replays stale compiled blocks out of
   // a shared cache.
@@ -812,6 +921,11 @@ sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   prefix << dev_.name() << '#' << std::hex << dev_.fingerprint() << std::dec
          << (options_.noise && options_.coherent_noise ? "#coh;" : "#exact;");
   key_prefix_ = prefix.str();
+}
+
+sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
+  HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+  refresh_key_prefix();
 
   const bool noisy = options_.noise;
   const bool density = noisy && options_.engine == Engine::ExactDensity;
@@ -821,6 +935,281 @@ sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   if (!noisy) return run_noiseless(cp, shots, rng);
   if (density) return run_exact_density(cp, shots, rng);
   return run_trajectories(cp, shots, rng);
+}
+
+double Executor::run_expectation(const Program& program, std::size_t shots, Rng& rng,
+                                 const ObjectiveSpec& spec) {
+  HGP_REQUIRE(spec.kind != ObjectiveKind::Sample,
+              "Executor::run_expectation: Sample objectives go through run()");
+  HGP_REQUIRE(static_cast<bool>(spec.value),
+              "Executor::run_expectation: objective has no value function");
+  HGP_REQUIRE(!program.measure_qubits.empty(),
+              "Executor::run_expectation: nothing to measure");
+
+  refresh_key_prefix();
+  const bool noisy = options_.noise;
+  const bool density = noisy && options_.engine == Engine::ExactDensity;
+  const CompiledProgram cp = compile_program(program, density ? 10 : 14);
+  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
+
+  // Tabulate the diagonal observable once over the 2^m measured outcomes,
+  // keyed exactly like run()'s counts.
+  const std::size_t mdim = std::size_t{1} << cp.measure_local.size();
+  std::vector<double> vt(mdim);
+  for (std::uint64_t j = 0; j < mdim; ++j) vt[j] = spec.value(j);
+
+  if (density) {
+    // Exact objective over the folded distribution — no stochastic element.
+    const std::vector<double> p = density_distribution(cp);
+    if (spec.kind == ObjectiveKind::CVaR)
+      return mit::cvar_from_distribution(p, vt, spec.cvar_alpha, spec.cvar_maximize);
+    double num = 0.0, den = 0.0;
+    for (std::size_t j = 0; j < mdim; ++j) {
+      num += vt[j] * p[j];
+      den += p[j];
+    }
+    return num / den;
+  }
+
+  const std::size_t dim = std::size_t{1} << cp.touched.size();
+  if (!noisy) {
+    // One deterministic evolve, one exact reduction — shots and rng are
+    // untouched, and there is no sampling noise at all.
+    sim::Statevector sv(cp.touched.size());
+    for (const Scheduled& s : cp.timeline) sv.apply_matrix(s.block.unitary, s.local);
+    if (spec.kind == ObjectiveKind::Expectation) {
+      std::vector<double> lvt(dim);
+      for (std::uint64_t i = 0; i < dim; ++i) lvt[i] = vt[map_bits(i, cp)];
+      double num = 0.0, den = 0.0;
+      sv.weighted_mass(lvt.data(), num, den);
+      return num / den;
+    }
+    // CVaR: accumulate the exact (unnormalized) outcome masses in ascending
+    // basis order — the same additions accumulate_mapped performs per lane,
+    // so the batched candidate path is bit-identical to this one.
+    std::vector<double> p(mdim, 0.0);
+    const la::CVec& amp = sv.data();
+    for (std::uint64_t i = 0; i < dim; ++i) {
+      const double ar = amp[i].real(), ai = amp[i].imag();
+      p[map_bits(i, cp)] += ar * ar + ai * ai;
+    }
+    return mit::cvar_from_distribution(p, vt, spec.cvar_alpha, spec.cvar_maximize);
+  }
+
+  // Trajectory noise: the same fixed batch grid and per-shot child streams
+  // as run() — the parent rng advances by exactly one draw — but each shot
+  // contributes its exact terminal distribution instead of one sample, so
+  // the only residual stochastic element is the trajectory unraveling
+  // itself. All per-shot reductions merge in shot order, making the result
+  // bit-identical for every thread count and lane width.
+  HGP_REQUIRE(shots > 0, "Executor::run_expectation: need at least one shot");
+  const noise::NoiseModel& nm = dev_.noise_model();
+  const std::size_t num_batches = (shots + kShotsPerBatch - 1) / kShotsPerBatch;
+  const std::uint64_t base = rng.next_u64();
+  const std::size_t lanes = std::max<std::size_t>(std::size_t{1}, options_.shot_batch_lanes);
+
+  if (options_.readout_error && spec.kind == ObjectiveKind::Expectation) {
+    // Readout confusion commutes into the value table: E[v(readout(b))] is a
+    // per-bit 2x2 mixing of the values, folded once instead of per shot.
+    for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
+      const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      for (std::uint64_t idx = 0; idx < mdim; ++idx) {
+        if (idx & bit) continue;
+        const double v0 = vt[idx], v1 = vt[idx | bit];
+        vt[idx] = (1.0 - re.p1_given_0) * v0 + re.p1_given_0 * v1;
+        vt[idx | bit] = re.p0_given_1 * v0 + (1.0 - re.p0_given_1) * v1;
+      }
+    }
+  }
+
+  // Local-register lookup tables: per-basis-state value (Expectation) or
+  // measured-outcome index (CVaR).
+  std::vector<double> lvt;
+  std::vector<std::uint32_t> lmap;
+  if (spec.kind == ObjectiveKind::Expectation) {
+    lvt.resize(dim);
+    for (std::uint64_t i = 0; i < dim; ++i) lvt[i] = vt[map_bits(i, cp)];
+  } else {
+    lmap.resize(dim);
+    for (std::uint64_t i = 0; i < dim; ++i)
+      lmap[i] = static_cast<std::uint32_t>(map_bits(i, cp));
+  }
+
+  // Per-batch accumulators, merged in batch order after the pool joins.
+  std::vector<double> batch_acc;
+  std::vector<double> batch_p;
+  if (spec.kind == ObjectiveKind::Expectation)
+    batch_acc.assign(num_batches, 0.0);
+  else
+    batch_p.assign(num_batches * mdim, 0.0);
+
+  auto run_batch = [&](std::size_t b) {
+    const std::size_t first = b * kShotsPerBatch;
+    const std::size_t count = std::min(kShotsPerBatch, shots - first);
+    std::unique_ptr<sim::BatchedStatevector> full;
+    std::vector<double> num(lanes), den(lanes), mass;
+    for (std::size_t g = 0; g < count; g += lanes) {
+      const std::size_t nl = std::min(lanes, count - g);
+      std::unique_ptr<sim::BatchedStatevector> tail;
+      sim::BatchedStatevector* bsv;
+      if (nl == lanes) {
+        if (full)
+          full->reset();
+        else
+          full = std::make_unique<sim::BatchedStatevector>(cp.touched.size(), lanes);
+        bsv = full.get();
+      } else {
+        tail = std::make_unique<sim::BatchedStatevector>(cp.touched.size(), nl);
+        bsv = tail.get();
+      }
+      evolve_lanes(dev_, options_, cp, *bsv, base, first + g);
+      if (spec.kind == ObjectiveKind::Expectation) {
+        // Per-shot normalized expectation (den carries the trajectory's
+        // deferred-normalization weight), summed in shot-ascending order.
+        bsv->weighted_masses(lvt.data(), num.data(), den.data());
+        for (std::size_t l = 0; l < nl; ++l) batch_acc[b] += num[l] / den[l];
+      } else {
+        // Per-shot normalized outcome distribution into the batch average.
+        mass.assign(mdim * nl, 0.0);
+        bsv->accumulate_mapped(lmap.data(), mass.data());
+        double* pb = &batch_p[b * mdim];
+        for (std::size_t l = 0; l < nl; ++l) {
+          double d = 0.0;
+          for (std::size_t j = 0; j < mdim; ++j) d += mass[j * nl + l];
+          for (std::size_t j = 0; j < mdim; ++j) pb[j] += mass[j * nl + l] / d;
+        }
+      }
+    }
+  };
+  for_each_batch(num_batches, options_.num_threads, run_batch);
+
+  if (spec.kind == ObjectiveKind::Expectation) {
+    double total = 0.0;
+    for (std::size_t b = 0; b < num_batches; ++b) total += batch_acc[b];
+    return total / static_cast<double>(shots);
+  }
+
+  // CVaR of the shot-averaged distribution, readout confusion folded in
+  // density-style (the tail statistic does not commute with per-shot
+  // averaging, so confusion must act on the distribution, not the values).
+  std::vector<double> p(mdim, 0.0);
+  for (std::size_t b = 0; b < num_batches; ++b)
+    for (std::size_t j = 0; j < mdim; ++j) p[j] += batch_p[b * mdim + j];
+  for (std::size_t j = 0; j < mdim; ++j) p[j] /= static_cast<double>(shots);
+  if (options_.readout_error) {
+    for (std::size_t i = 0; i < cp.measure_phys.size(); ++i) {
+      const noise::ReadoutError& re = nm.qubits[cp.measure_phys[i]].readout;
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      for (std::uint64_t idx = 0; idx < mdim; ++idx) {
+        if (idx & bit) continue;
+        const double p0 = p[idx], p1 = p[idx | bit];
+        p[idx] = (1.0 - re.p1_given_0) * p0 + re.p0_given_1 * p1;
+        p[idx | bit] = re.p1_given_0 * p0 + (1.0 - re.p0_given_1) * p1;
+      }
+    }
+  }
+  return mit::cvar_from_distribution(p, vt, spec.cvar_alpha, spec.cvar_maximize);
+}
+
+std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& programs,
+                                                    const ObjectiveSpec& spec) {
+  HGP_REQUIRE(!programs.empty(), "Executor::run_expectation_batch: no candidates");
+  HGP_REQUIRE(spec.kind != ObjectiveKind::Sample,
+              "Executor::run_expectation_batch: Sample objectives go through run()");
+  HGP_REQUIRE(static_cast<bool>(spec.value),
+              "Executor::run_expectation_batch: objective has no value function");
+  HGP_REQUIRE(!options_.noise,
+              "Executor::run_expectation_batch: candidate-lane batching is noiseless only");
+
+  refresh_key_prefix();
+  const std::size_t B = programs.size();
+  const Program& p0 = programs.front();
+  HGP_REQUIRE(!p0.measure_qubits.empty(),
+              "Executor::run_expectation_batch: nothing to measure");
+
+  // Candidate-lane batching requires one shared circuit structure: the same
+  // register, measurement map, and block placement — only parameter values
+  // may differ lane to lane. So candidate 0 is compiled in full once and
+  // every other lane is delta-compiled against it: per timeline slot, only
+  // ops whose parameters actually changed recompile (a full per-candidate
+  // compile_program — key building, cache lookups, block copies — was the
+  // dominant cost of small batches).
+  const CompiledProgram c0 = compile_program(p0, 14);
+  const std::size_t steps = c0.timeline.size();
+
+  // Contributing ops per slot, in program order (virtual folds put several
+  // ops into one slot).
+  std::vector<std::vector<std::size_t>> slot_ops(steps);
+  for (std::size_t i = 0; i < p0.ops.size(); ++i)
+    if (c0.op_slot[i] >= 0) slot_ops[static_cast<std::size_t>(c0.op_slot[i])].push_back(i);
+
+  // lane_us[s] empty => every lane shares candidate 0's unitary (broadcast).
+  std::vector<std::vector<la::CMat>> lane_us(steps);
+  for (std::size_t l = 1; l < B; ++l) {
+    const Program& pl = programs[l];
+    HGP_REQUIRE(pl.measure_qubits == p0.measure_qubits && pl.ops.size() == p0.ops.size(),
+                "Executor::run_expectation_batch: candidates are not structurally "
+                "identical");
+    for (std::size_t i = 0; i < pl.ops.size(); ++i)
+      HGP_REQUIRE(same_op_structure(pl.ops[i], p0.ops[i]),
+                  "Executor::run_expectation_batch: candidate timelines diverge");
+    for (std::size_t s = 0; s < steps; ++s) {
+      bool dirty = false;
+      for (std::size_t i : slot_ops[s])
+        if (!same_op_unitary(pl.ops[i], p0.ops[i])) {
+          dirty = true;
+          break;
+        }
+      if (!dirty) continue;
+      if (lane_us[s].empty()) lane_us[s].assign(B, c0.timeline[s].block.unitary);
+      // Recompute the slot's (possibly folded) unitary in compile_program's
+      // exact multiply order, so the lane stays bit-identical to a scalar
+      // compile of this candidate.
+      la::CMat u = compile_block(pl.ops[slot_ops[s].front()]).unitary;
+      for (std::size_t i = 1; i < slot_ops[s].size(); ++i)
+        u = compile_block(pl.ops[slot_ops[s][i]]).unitary * u;
+      lane_us[s][l] = std::move(u);
+    }
+  }
+  report_ = ExecutionReport{c0.makespan_dt, dev_.readout_duration_dt(), steps};
+
+  // One lane-batched evolve for all candidates: blocks whose unitaries agree
+  // across every lane (the unparameterized majority) apply once broadcast;
+  // parameterized blocks take the per-lane kernels.
+  sim::BatchedStatevector bsv(c0.touched.size(), B);
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (lane_us[s].empty())
+      bsv.apply_matrix(c0.timeline[s].block.unitary, c0.timeline[s].local);
+    else
+      bsv.apply_matrix_per_lane(lane_us[s], c0.timeline[s].local);
+  }
+
+  const std::size_t mdim = std::size_t{1} << c0.measure_local.size();
+  std::vector<double> vt(mdim);
+  for (std::uint64_t j = 0; j < mdim; ++j) vt[j] = spec.value(j);
+  const std::size_t dim = std::size_t{1} << c0.touched.size();
+
+  std::vector<double> out(B);
+  if (spec.kind == ObjectiveKind::Expectation) {
+    std::vector<double> lvt(dim);
+    for (std::uint64_t i = 0; i < dim; ++i) lvt[i] = vt[map_bits(i, c0)];
+    std::vector<double> num(B), den(B);
+    bsv.weighted_masses(lvt.data(), num.data(), den.data());
+    for (std::size_t l = 0; l < B; ++l) out[l] = num[l] / den[l];
+  } else {
+    std::vector<std::uint32_t> lmap(dim);
+    for (std::uint64_t i = 0; i < dim; ++i)
+      lmap[i] = static_cast<std::uint32_t>(map_bits(i, c0));
+    std::vector<double> mass(mdim * B, 0.0);
+    bsv.accumulate_mapped(lmap.data(), mass.data());
+    std::vector<double> p(mdim);
+    for (std::size_t l = 0; l < B; ++l) {
+      for (std::size_t j = 0; j < mdim; ++j) p[j] = mass[j * B + l];
+      out[l] = mit::cvar_from_distribution(p, vt, spec.cvar_alpha, spec.cvar_maximize);
+    }
+  }
+  return out;
 }
 
 }  // namespace hgp::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +33,37 @@ enum class Engine {
 /// Parse "trajectory" | "density" (throws on anything else).
 Engine engine_from_name(const std::string& name);
 const std::string& engine_name(Engine engine);
+
+/// What an executor evaluation returns: sampled counts (run()) or a
+/// lane-native scalar objective computed from the terminal state without
+/// sampling (run_expectation / run_expectation_batch).
+enum class ObjectiveKind {
+  /// Sample shots and aggregate counts — the only mode run() implements.
+  Sample,
+  /// Exact expectation of a diagonal observable over the measured bits:
+  /// one probability-weighted sweep per terminal state, no sampling noise.
+  Expectation,
+  /// CVaR_alpha of the diagonal observable: sorted-tail average over the
+  /// exact outcome distribution.
+  CVaR,
+};
+
+/// Parse "sample" | "expectation" | "cvar" (throws on anything else).
+ObjectiveKind objective_from_name(const std::string& name);
+const std::string& objective_name(ObjectiveKind kind);
+
+/// A diagonal objective over measured bitstrings. `value` is keyed exactly
+/// like run()'s counts (bit i = measure_qubits[i]) and is tabulated once per
+/// evaluation over the 2^m outcomes, so it must be cheap and total.
+struct ObjectiveSpec {
+  ObjectiveKind kind = ObjectiveKind::Expectation;
+  std::function<double(std::uint64_t)> value;
+  /// CVaR tail fraction (ignored for Expectation).
+  double cvar_alpha = 0.3;
+  /// CVaR tail direction: true averages the best (highest-value) tail —
+  /// what Max-Cut training wants for cut values.
+  bool cvar_maximize = true;
+};
 
 /// Default lockstep width of the batched trajectory engine — the sweet spot
 /// measured by bench_shotloop_timing at 12-14 qubits on one core.
@@ -99,6 +132,12 @@ struct CompiledProgram {
   std::vector<std::size_t> measure_phys;   // physical qubit per measured bit
   std::vector<std::size_t> measure_local;  // local qubit per measured bit
   std::vector<int> clock;                  // per-local end time
+  /// Timeline slot each program op landed in (-1 for barriers/measures).
+  /// Consecutive virtual blocks fold, so several ops may map to one slot —
+  /// this is what lets candidate-lane batching delta-compile: a candidate
+  /// that differs from the reference only in some ops' parameter values
+  /// recompiles exactly those ops' slots.
+  std::vector<long> op_slot;
   int makespan_dt = 0;
 };
 
@@ -116,6 +155,29 @@ class Executor {
   /// Run the program and return counts keyed in the order of
   /// program.measure_qubits (bit i = measure_qubits[i]).
   sim::Counts run(const Program& program, std::size_t shots, Rng& rng);
+
+  /// Evaluate a diagonal objective without terminal sampling. Noiseless:
+  /// one deterministic evolve, exact expectation/CVaR (shots and rng are
+  /// untouched). Trajectory noise: the same fixed batch grid and per-shot
+  /// child streams as run() (rng advances by exactly one draw), but each
+  /// shot contributes its exact outcome distribution instead of one sample —
+  /// Expectation averages per-shot normalized expectations, CVaR takes the
+  /// tail of the shot-averaged distribution (readout confusion folds into
+  /// the value table / the averaged distribution respectively). Density:
+  /// exact objective over the folded distribution, no stochastic element at
+  /// all. Deterministic for every thread and lane count.
+  double run_expectation(const Program& program, std::size_t shots, Rng& rng,
+                         const ObjectiveSpec& spec);
+
+  /// Candidate-lane batching: evaluate B structurally identical programs
+  /// (same gates and layout, different parameter values — SPSA pairs,
+  /// simplex vertices, parameter-shift points) as B lanes of one lane-batched
+  /// evolve. Blocks whose unitaries agree across candidates apply once
+  /// broadcast; parameterized blocks take the per-lane kernels. Noiseless
+  /// only — result l is bit-identical to run_expectation(programs[l], ...)
+  /// on a scalar statevector.
+  std::vector<double> run_expectation_batch(const std::vector<Program>& programs,
+                                            const ObjectiveSpec& spec);
 
   const ExecutionReport& last_report() const { return report_; }
 
@@ -168,6 +230,14 @@ class Executor {
                       std::uint64_t rng_base, std::size_t first_shot,
                       sim::Counts& out) const;
   sim::Counts run_exact_density(const CompiledProgram& cp, std::size_t shots, Rng& rng) const;
+  /// The exact-density outcome distribution over the measured bits,
+  /// marginalized and readout-folded — shared by run_exact_density (which
+  /// samples it) and the density path of run_expectation (which reduces it).
+  std::vector<double> density_distribution(const CompiledProgram& cp) const;
+  /// Rebuild key_prefix_ from the backend fingerprint and compile options
+  /// (called at the top of every run so recalibration invalidates stale
+  /// cache entries).
+  void refresh_key_prefix();
 
   const backend::FakeBackend& dev_;
   ExecutorOptions options_;

@@ -20,6 +20,11 @@ struct VqeConfig {
   /// Simulation backend evaluating <H>: "statevector" (default) or
   /// "density" (exact mixed-state reference, small registers).
   std::string state_backend = "statevector";
+  /// Gradient estimator of the "adam" optimizer: "finite_difference"
+  /// (default), "parameter_shift", or "batched_parameter_shift" — the last
+  /// submits all 2·n shift points of every iteration as one batch, which a
+  /// dispatcher fans out across workers (same numbers, shorter wall clock).
+  std::string gradient = "finite_difference";
   std::uint64_t seed = 5;
 };
 

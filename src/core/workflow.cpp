@@ -38,6 +38,7 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   const QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);
 
   ExecutorOptions eopt;
+  eopt.noise = config.noise;
   eopt.engine = engine_from_name(config.engine);
   eopt.num_threads = config.executor_threads;
   eopt.shot_batch_lanes = config.shot_batch_lanes;
@@ -52,6 +53,16 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   Executor executor(dev, eopt);
   Rng rng(config.seed);
 
+  const ObjectiveKind okind = objective_from_name(config.objective);
+  HGP_REQUIRE(okind == ObjectiveKind::Sample || !config.m3,
+              "run_qaoa: M3 mitigation operates on sampled counts — use the "
+              "'sample' objective");
+  ObjectiveSpec spec;
+  spec.kind = okind == ObjectiveKind::Sample ? ObjectiveKind::Expectation : okind;
+  spec.value = [&g = instance.graph](std::uint64_t bits) { return g.cut_value(bits); };
+  spec.cvar_alpha = config.cvar_alpha;
+  spec.cvar_maximize = true;
+
   // M3 readout calibration (paper §IV-D): estimate the per-qubit confusion
   // by running the all-|0> and all-|1> calibration programs on the device.
   std::unique_ptr<mit::M3Mitigator> m3;
@@ -63,6 +74,35 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   }
 
   const opt::BatchObjective objective = [&](const std::vector<std::vector<double>>& xs) {
+    if (okind != ObjectiveKind::Sample && !config.noise) {
+      // Lane-native, zero-noise path: the batch's candidates share one
+      // circuit structure, so they pack as lanes of one batched evolve —
+      // every unparameterized block applies once for the whole group. Fully
+      // deterministic (no rng draw), and value i is bit-identical to a
+      // scalar evaluation of candidate i alone, for any group or worker
+      // count.
+      const std::size_t group = std::max<std::size_t>(std::size_t{1}, config.candidate_lanes);
+      std::vector<double> vals(xs.size());
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t start = 0; start < xs.size(); start += group) {
+        const std::size_t count = std::min(group, xs.size() - start);
+        tasks.push_back([&, start, count] {
+          std::vector<Program> progs;
+          progs.reserve(count);
+          for (std::size_t i = 0; i < count; ++i)
+            progs.push_back(model.instantiate(xs[start + i]));
+          Executor ex(dev, eopt);  // shares the block cache; private report
+          const std::vector<double> v = ex.run_expectation_batch(progs, spec);
+          for (std::size_t i = 0; i < count; ++i) vals[start + i] = -v[i];
+        });
+      }
+      if (dispatcher != nullptr) {
+        dispatcher->run(tasks);
+      } else {
+        for (std::function<void()>& task : tasks) task();
+      }
+      return vals;
+    }
     // One parent draw per batch; candidate i samples its own child stream.
     // Values therefore depend only on the batch structure, never on which
     // worker (or how many) evaluated them.
@@ -71,6 +111,8 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
       const Program prog = model.instantiate(xs[i]);
       Executor ex(dev, eopt);  // shares the block cache; private report
       Rng candidate_rng = Rng::child(base, i);
+      if (okind != ObjectiveKind::Sample)
+        return -ex.run_expectation(prog, config.shots, candidate_rng, spec);
       const sim::Counts counts = ex.run(prog, config.shots, candidate_rng);
       return -scored_cost(counts, instance.graph, config, m3.get());
     });
@@ -97,11 +139,17 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
     HGP_REQUIRE(false, "run_qaoa: unknown optimizer '" + config.optimizer + "'");
   }
 
-  // Final evaluation at the optimum with a fresh sampling seed.
+  // Final evaluation at the optimum with a fresh sampling seed, under the
+  // same objective mode the training used.
   Rng final_rng(config.seed ^ 0xF1A5ull);
   const Program final_prog = model.instantiate(opt_result.x);
-  const sim::Counts final_counts = executor.run(final_prog, config.shots, final_rng);
-  const double final_cost = scored_cost(final_counts, instance.graph, config, m3.get());
+  double final_cost;
+  if (okind != ObjectiveKind::Sample) {
+    final_cost = executor.run_expectation(final_prog, config.shots, final_rng, spec);
+  } else {
+    const sim::Counts final_counts = executor.run(final_prog, config.shots, final_rng);
+    final_cost = scored_cost(final_counts, instance.graph, config, m3.get());
+  }
 
   RunResult out;
   out.model = model_name(kind);

@@ -28,6 +28,23 @@ struct RunConfig {
   /// Classical optimizer driving the machine-in-loop training:
   /// "cobyla" (paper default) | "spsa" | "neldermead".
   std::string optimizer = "cobyla";
+  /// Master noise switch of the run's executors. false = ideal simulation
+  /// (exact gate matrices, no decoherence or readout error) — the regime
+  /// where lane-native objectives and candidate-lane batching shine.
+  bool noise = true;
+  /// What each objective evaluation computes: "sample" (legacy counts +
+  /// scored_cost — the only mode M3 supports), "expectation" (exact ⟨H_C⟩
+  /// over the terminal state / per-trajectory distributions — no terminal
+  /// sampling at all), or "cvar" (sorted-tail CVaR_α of the exact outcome
+  /// distribution, α = cvar_alpha). For the non-sample modes the `cvar` and
+  /// `m3` booleans do not apply: the mode string is authoritative.
+  std::string objective = "sample";
+  /// Candidates packed per lane-batched evolve when a noiseless non-sample
+  /// run evaluates an optimizer batch: parameter candidates become lanes of
+  /// one sim::BatchedStatevector, so every unparameterized block applies
+  /// once for the whole group. Values are bit-identical for every lane and
+  /// worker count.
+  std::size_t candidate_lanes = 16;
   /// Noise engine of the executor: "trajectory" (sampled shots, scales to
   /// ~14 active qubits) or "density" (one exact density-matrix pass per
   /// evaluation, <= 10 active qubits, no trajectory sampling noise).

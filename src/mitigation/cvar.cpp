@@ -55,4 +55,16 @@ double cvar_from_quasi(const QuasiDistribution& quasi,
   return cvar_over_entries(std::move(entries), alpha, maximize);
 }
 
+double cvar_from_distribution(const std::vector<double>& p,
+                              const std::vector<double>& values, double alpha,
+                              bool maximize) {
+  HGP_REQUIRE(p.size() == values.size(),
+              "cvar_from_distribution: weight/value size mismatch");
+  std::vector<Entry> entries;
+  entries.reserve(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j)
+    if (p[j] > 0.0) entries.push_back(Entry{values[j], p[j]});
+  return cvar_over_entries(std::move(entries), alpha, maximize);
+}
+
 }  // namespace hgp::mit

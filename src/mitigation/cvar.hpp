@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "mitigation/m3.hpp"
 #include "sim/statevector.hpp"
@@ -23,5 +24,14 @@ double cvar_from_counts(const sim::Counts& counts,
 double cvar_from_quasi(const QuasiDistribution& quasi,
                        const std::function<double(std::uint64_t)>& value, double alpha,
                        bool maximize = true);
+
+/// CVaR over a dense exact outcome distribution: p[j] is the weight of
+/// bitstring j and values[j] its cost (the executor's lane-native objective
+/// path feeds its exact per-candidate distributions here). The tail budget
+/// scales with the total weight, so unnormalized probability masses give the
+/// same result as normalized ones.
+double cvar_from_distribution(const std::vector<double>& p,
+                              const std::vector<double>& values, double alpha,
+                              bool maximize = true);
 
 }  // namespace hgp::mit

@@ -18,6 +18,28 @@ std::vector<double> parameter_shift_gradient(const Objective& f, const std::vect
   return g;
 }
 
+std::vector<double> parameter_shift_gradient_batch(const BatchObjective& f,
+                                                   const std::vector<double>& x,
+                                                   double shift) {
+  const std::size_t n = x.size();
+  std::vector<std::vector<double>> points;
+  points.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += shift;
+    xm[i] -= shift;
+    points.push_back(std::move(xp));
+    points.push_back(std::move(xm));
+  }
+  const std::vector<double> vals = f(points);
+  HGP_REQUIRE(vals.size() == 2 * n,
+              "parameter_shift_gradient_batch: evaluator returned wrong batch size");
+  std::vector<double> g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g[i] = (vals[2 * i] - vals[2 * i + 1]) / (2.0 * std::sin(shift));
+  return g;
+}
+
 std::vector<double> finite_difference_gradient(const Objective& f, const std::vector<double>& x,
                                                double eps) {
   std::vector<double> g(x.size());
@@ -32,21 +54,40 @@ std::vector<double> finite_difference_gradient(const Objective& f, const std::ve
 
 OptimizeResult Adam::minimize(const Objective& f, std::vector<double> x0,
                               const Bounds& bounds) const {
+  return minimize_batch(serial_batch(f), std::move(x0), bounds);
+}
+
+OptimizeResult Adam::minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                    const Bounds& bounds) const {
   const std::size_t n = x0.size();
   HGP_REQUIRE(n >= 1, "Adam: empty parameter vector");
   OptimizeResult out;
   bounds.clip(x0);
 
+  // Singleton-batch adapter for the serial gradient modes and the
+  // per-iteration probe: evaluation order matches the legacy scalar path
+  // exactly.
+  const Objective scalar = [&f](const std::vector<double>& p) { return f({p})[0]; };
+
   std::vector<double> x = x0, m(n, 0.0), v(n, 0.0);
-  double best_val = f(x);
+  double best_val = scalar(x);
   std::vector<double> best_x = x;
   out.evaluations = 1;
 
   for (int k = 1; k <= options_.max_iterations; ++k) {
-    const std::vector<double> g =
-        options_.mode == GradientMode::ParameterShift
-            ? parameter_shift_gradient(f, x)
-            : finite_difference_gradient(f, x, options_.fd_eps);
+    std::vector<double> g;
+    switch (options_.mode) {
+      case GradientMode::BatchedParameterShift:
+        // All 2·n shift points in one call — the evaluator decides whether
+        // they run as candidate lanes, pooled workers, or serially.
+        g = parameter_shift_gradient_batch(f, x);
+        break;
+      case GradientMode::ParameterShift:
+        g = parameter_shift_gradient(scalar, x);
+        break;
+      default:
+        g = finite_difference_gradient(scalar, x, options_.fd_eps);
+    }
     out.evaluations += static_cast<int>(2 * n);
 
     for (std::size_t j = 0; j < n; ++j) {
@@ -58,7 +99,7 @@ OptimizeResult Adam::minimize(const Objective& f, std::vector<double> x0,
     }
     bounds.clip(x);
 
-    const double fx = f(x);
+    const double fx = scalar(x);
     ++out.evaluations;
     if (fx < best_val) {
       best_val = fx;

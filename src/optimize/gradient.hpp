@@ -10,6 +10,16 @@ namespace hgp::opt {
 std::vector<double> parameter_shift_gradient(const Objective& f, const std::vector<double>& x,
                                              double shift = 1.5707963267948966);
 
+/// Parameter-shift gradient as one batch: all 2·n shift points (ordered
+/// x+s·e_0, x−s·e_0, x+s·e_1, …, the serial rule's evaluation order) go out
+/// in a single BatchObjective call, so a candidate-lane or worker-pool
+/// evaluator amortizes every shared gate application across the whole
+/// gradient. Element-wise identical to parameter_shift_gradient whenever the
+/// batch evaluator matches the scalar one point-for-point.
+std::vector<double> parameter_shift_gradient_batch(const BatchObjective& f,
+                                                   const std::vector<double>& x,
+                                                   double shift = 1.5707963267948966);
+
 /// Central finite differences (for pulse parameters, where no shift rule
 /// applies).
 std::vector<double> finite_difference_gradient(const Objective& f, const std::vector<double>& x,
@@ -19,7 +29,15 @@ std::vector<double> finite_difference_gradient(const Objective& f, const std::ve
 /// gradient descent for pulse-level VQAs" baseline the paper cites.
 class Adam : public Optimizer {
  public:
-  enum class GradientMode { ParameterShift, FiniteDifference };
+  enum class GradientMode {
+    ParameterShift,
+    FiniteDifference,
+    /// Parameter-shift with all 2·n shift points submitted as one
+    /// BatchObjective call per iteration — the same numbers as
+    /// ParameterShift when the evaluator is point-exact, but a lane-batched
+    /// or pooled evaluator runs the whole gradient concurrently.
+    BatchedParameterShift,
+  };
 
   struct Options {
     int max_iterations = 100;
@@ -36,6 +54,11 @@ class Adam : public Optimizer {
 
   OptimizeResult minimize(const Objective& f, std::vector<double> x0,
                           const Bounds& bounds = {}) const override;
+  /// Real batching for BatchedParameterShift (one 2·n-candidate call per
+  /// iteration); the other modes feed singleton batches in the serial
+  /// evaluation order, so traces are unchanged.
+  OptimizeResult minimize_batch(const BatchObjective& f, std::vector<double> x0,
+                                const Bounds& bounds = {}) const override;
   std::string name() const override { return "Adam"; }
 
  private:

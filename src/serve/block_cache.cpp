@@ -192,6 +192,25 @@ BlockCache::StoreReport BlockCache::attach_store(const std::string& path,
   return report;
 }
 
+std::size_t BlockCache::compact_store() {
+  std::shared_ptr<BlockStore> store;
+  std::vector<BlockStore::SaveEntry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!store_) return 0;
+    store = store_;
+    entries.reserve(map_.size());
+    // LRU order, oldest first — same convention as save().
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const Entry& e = map_.at(*it);
+      entries.emplace_back(*it, e.kind, e.fingerprint, e.block);
+    }
+  }
+  // Off the cache lock, like write-through appends: the store serializes
+  // the rewrite on its own mutex and the exclusive flock.
+  return store->compact(entries);
+}
+
 std::string BlockCache::store_path() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return store_ ? store_->path() : std::string();

@@ -116,6 +116,17 @@ class BlockCache {
   /// (recalibrated) file is reset to a fresh store.
   StoreReport attach_store(const std::string& path, std::uint64_t fingerprint);
 
+  /// Compact the attached write-through store down to this cache's resident
+  /// entries (BlockStore::compact): records this calibration appended but
+  /// the LRU has since evicted are dropped from the file, other
+  /// calibrations' records are kept, and residents are rewritten in LRU
+  /// order (oldest first, like save(), so a loader reconstructs the same
+  /// ranking). A block compiled concurrently with the pass stays resident
+  /// in the cache and is re-persisted by the next write-through or
+  /// compaction. Returns the compacted file's record count; 0 when no store
+  /// is attached (or the rewrite failed).
+  std::size_t compact_store();
+
   /// Path of the attached write-through store ("" when none).
   std::string store_path() const;
 

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <unordered_map>
 
 #include "common/binio.hpp"
 
@@ -275,6 +276,77 @@ void BlockStore::append(const std::string& key, BlockKind kind,
 void BlockStore::note_existing(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   persisted_.insert(key);
+}
+
+std::size_t BlockStore::compact(const std::vector<SaveEntry>& entries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_) return 0;
+  ::flock(lock_fd_, LOCK_EX);
+
+  // Walk the current frames and keep the other calibrations' records as raw
+  // frames (checksum already verified, so byte-for-byte reuse is safe).
+  // Frames of this fingerprint are skipped — the live ones come back from
+  // `entries` — as are torn or corrupt frames.
+  std::vector<std::string> foreign_keys;  // first-seen order
+  std::unordered_map<std::string, std::string> foreign_frames;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    char header[16];
+    if (in.read(header, sizeof header)) {
+      std::string body;
+      for (;;) {
+        char prefix[12];
+        if (!in.read(prefix, sizeof prefix)) break;
+        std::uint32_t len = 0;
+        std::uint64_t checksum = 0;
+        if (!parse_frame_prefix(prefix, len, checksum)) break;
+        body.resize(len);
+        if (!in.read(body.data(), static_cast<std::streamsize>(len))) break;
+        if (io::fnv1a(body) != checksum) continue;
+        std::uint64_t record_fp = 0;
+        std::string key;
+        BlockKind kind = BlockKind::Gate;
+        core::CompiledBlock block;
+        if (!decode_body(body, record_fp, key, kind, block)) continue;
+        if (record_fp == fingerprint_) continue;
+        std::string frame(prefix, sizeof prefix);
+        frame.append(body);
+        if (foreign_frames.emplace(key, frame).second)
+          foreign_keys.push_back(key);
+        else
+          foreign_frames[key] = std::move(frame);  // last record wins, as in load
+      }
+    }
+  }
+
+  std::string out;
+  encode_header(out, fingerprint_);
+  for (const std::string& k : foreign_keys) out.append(foreign_frames.at(k));
+  for (const auto& [key, kind, entry_fp, block] : entries)
+    encode_record(out, entry_fp != 0 ? entry_fp : fingerprint_, key, kind, *block);
+
+  bool written = false;
+  {
+    std::fstream rw(path_, std::ios::binary | std::ios::in | std::ios::out);
+    rw.write(out.data(), static_cast<std::streamsize>(out.size()));
+    rw.flush();
+    written = static_cast<bool>(rw);
+  }
+  if (written) written = ::truncate(path_.c_str(), static_cast<off_t>(out.size())) == 0;
+  ::flock(lock_fd_, LOCK_UN);
+  if (!written) {
+    // A half-rewritten file is still frame-valid up to the failure point;
+    // stop appending to it rather than risk compounding the damage.
+    ok_ = false;
+    return 0;
+  }
+
+  // The dedup set must mirror the new disk contents exactly: keys dropped by
+  // the compaction become appendable again, keys it kept stay deduped.
+  persisted_.clear();
+  for (const std::string& k : foreign_keys) persisted_.insert(k);
+  for (const SaveEntry& e : entries) persisted_.insert(std::get<0>(e));
+  return foreign_keys.size() + entries.size();
 }
 
 }  // namespace hgp::serve

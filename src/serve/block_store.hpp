@@ -140,6 +140,19 @@ class BlockStore {
   /// record the load pass delivered).
   void note_existing(const std::string& key);
 
+  /// Rewrite the file in place so it holds exactly: a fresh header, every
+  /// *other* calibration's records (kept verbatim and deduped last-wins —
+  /// their liveness cannot be judged from here), then `entries` — this
+  /// calibration's live set, typically the attached cache's residents in
+  /// LRU order. Records of this fingerprint absent from `entries` (blocks
+  /// the cache's LRU evicted across many append-only runs) are dropped, and
+  /// torn or corrupt frames are repaired away. The rewrite is write+truncate
+  /// in place, never a rename: this appender's (and any other process's)
+  /// O_APPEND descriptor must keep pointing at the real file. Holds the
+  /// flock exclusively for the whole pass. Returns the compacted record
+  /// count, 0 on failure (the store then degrades to not-ok).
+  std::size_t compact(const std::vector<SaveEntry>& entries);
+
   const std::string& path() const { return path_; }
   bool ok() const { return ok_; }
 

@@ -351,6 +351,365 @@ void BatchedStatevector::apply_matrix_lane(const CMat& u, std::size_t q, std::si
   });
 }
 
+void BatchedStatevector::apply_pauli_lanes(std::size_t q, const std::uint8_t* codes) {
+  HGP_REQUIRE(q < num_qubits_, "apply_pauli_lanes: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const std::size_t L = lanes_;
+  // Literal complex products with the 0 / ±1 Pauli entries, in the exact
+  // operand order of the scalar kernels (u * a for the anti-diagonal X/Y
+  // paths, a * u for the diagonal Z path) — without fast-math the compiler
+  // cannot fold 0.0 * x, so each lane rounds like apply_matrix_lane.
+  for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+    double* __restrict__ r0 = &re_[i * L];
+    double* __restrict__ m0 = &im_[i * L];
+    double* __restrict__ r1 = &re_[(i | bit) * L];
+    double* __restrict__ m1 = &im_[(i | bit) * L];
+    for (std::size_t l = 0; l < L; ++l) {
+      const double ar0 = r0[l], ai0 = m0[l];
+      const double ar1 = r1[l], ai1 = m1[l];
+      switch (codes[l]) {
+        case 1:  // X: u01 = u10 = 1
+          r0[l] = 1.0 * ar1 - 0.0 * ai1;
+          m0[l] = 1.0 * ai1 + 0.0 * ar1;
+          r1[l] = 1.0 * ar0 - 0.0 * ai0;
+          m1[l] = 1.0 * ai0 + 0.0 * ar0;
+          break;
+        case 2:  // Y: u01 = -i, u10 = i
+          r0[l] = 0.0 * ar1 - (-1.0) * ai1;
+          m0[l] = 0.0 * ai1 + (-1.0) * ar1;
+          r1[l] = 0.0 * ar0 - 1.0 * ai0;
+          m1[l] = 0.0 * ai0 + 1.0 * ar0;
+          break;
+        case 3:  // Z: u00 = 1, u11 = -1
+          r0[l] = ar0 * 1.0 - ai0 * 0.0;
+          m0[l] = ar0 * 0.0 + ai0 * 1.0;
+          r1[l] = ar1 * -1.0 - ai1 * 0.0;
+          m1[l] = ar1 * 0.0 + ai1 * -1.0;
+          break;
+        default:  // I: lane untouched
+          break;
+      }
+    }
+  });
+}
+
+void BatchedStatevector::apply_matrix_per_lane(const std::vector<CMat>& us,
+                                               const std::vector<std::size_t>& qubits) {
+  const std::size_t k = qubits.size();
+  const std::size_t L = lanes_;
+  HGP_REQUIRE(us.size() == L, "apply_matrix_per_lane: one operator per lane");
+  const std::size_t rows = std::size_t{1} << k;
+  for (const CMat& u : us)
+    HGP_REQUIRE(u.rows() == rows && u.cols() == rows,
+                "apply_matrix_per_lane: matrix size mismatch");
+  for (std::size_t q : qubits)
+    HGP_REQUIRE(q < num_qubits_, "apply_matrix_per_lane: qubit out of range");
+
+  if (k == 1) {
+    const std::uint64_t bit = std::uint64_t{1} << qubits[0];
+    bool all_diag = true, all_anti = true;
+    for (const CMat& u : us) {
+      if (!detail::is_diagonal2(u)) all_diag = false;
+      if (!detail::is_antidiagonal2(u)) all_anti = false;
+    }
+    if (all_diag) {
+      // Per-lane diagonal phases: d0/d1 coefficient rows in the gather
+      // scratch, one mul_row-shaped pass per half.
+      double* __restrict__ d0r = &scratch_re_[0];
+      double* __restrict__ d1r = &scratch_re_[L];
+      double* __restrict__ d0i = &scratch_im_[0];
+      double* __restrict__ d1i = &scratch_im_[L];
+      for (std::size_t l = 0; l < L; ++l) {
+        d0r[l] = us[l](0, 0).real();
+        d0i[l] = us[l](0, 0).imag();
+        d1r[l] = us[l](1, 1).real();
+        d1i[l] = us[l](1, 1).imag();
+      }
+      for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+        double* __restrict__ r0 = &re_[i * L];
+        double* __restrict__ m0 = &im_[i * L];
+        double* __restrict__ r1 = &re_[(i | bit) * L];
+        double* __restrict__ m1 = &im_[(i | bit) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double ar0 = r0[l], ai0 = m0[l];
+          const double ar1 = r1[l], ai1 = m1[l];
+          r0[l] = d0r[l] * ar0 - d0i[l] * ai0;
+          m0[l] = d0r[l] * ai0 + d0i[l] * ar0;
+          r1[l] = d1r[l] * ar1 - d1i[l] * ai1;
+          m1[l] = d1r[l] * ai1 + d1i[l] * ar1;
+        }
+      });
+      return;
+    }
+    if (all_anti) {
+      double* __restrict__ p01r = &scratch_re_[0];
+      double* __restrict__ p10r = &scratch_re_[L];
+      double* __restrict__ p01i = &scratch_im_[0];
+      double* __restrict__ p10i = &scratch_im_[L];
+      for (std::size_t l = 0; l < L; ++l) {
+        p01r[l] = us[l](0, 1).real();
+        p01i[l] = us[l](0, 1).imag();
+        p10r[l] = us[l](1, 0).real();
+        p10i[l] = us[l](1, 0).imag();
+      }
+      for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+        double* __restrict__ r0 = &re_[i * L];
+        double* __restrict__ m0 = &im_[i * L];
+        double* __restrict__ r1 = &re_[(i | bit) * L];
+        double* __restrict__ m1 = &im_[(i | bit) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double ar0 = r0[l], ai0 = m0[l];
+          const double ar1 = r1[l], ai1 = m1[l];
+          r0[l] = p01r[l] * ar1 - p01i[l] * ai1;
+          m0[l] = p01r[l] * ai1 + p01i[l] * ar1;
+          r1[l] = p10r[l] * ar0 - p10i[l] * ai0;
+          m1[l] = p10r[l] * ai0 + p10i[l] * ar0;
+        }
+      });
+      return;
+    }
+    bool all_dense = true;
+    for (const CMat& u : us)
+      if (detail::is_diagonal2(u) || detail::is_antidiagonal2(u)) all_dense = false;
+    if (all_dense) {
+      std::vector<double> cr(4 * L), ci(4 * L);
+      for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t e = 0; e < 4; ++e) {
+          cr[e * L + l] = us[l](e >> 1, e & 1).real();
+          ci[e * L + l] = us[l](e >> 1, e & 1).imag();
+        }
+      const double* __restrict__ u00r = &cr[0 * L];
+      const double* __restrict__ u01r = &cr[1 * L];
+      const double* __restrict__ u10r = &cr[2 * L];
+      const double* __restrict__ u11r = &cr[3 * L];
+      const double* __restrict__ u00i = &ci[0 * L];
+      const double* __restrict__ u01i = &ci[1 * L];
+      const double* __restrict__ u10i = &ci[2 * L];
+      const double* __restrict__ u11i = &ci[3 * L];
+      for_each_pair_base(dim_, bit, [&](std::uint64_t i) {
+        double* __restrict__ r0 = &re_[i * L];
+        double* __restrict__ m0 = &im_[i * L];
+        double* __restrict__ r1 = &re_[(i | bit) * L];
+        double* __restrict__ m1 = &im_[(i | bit) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          const double ar0 = r0[l], ai0 = m0[l];
+          const double ar1 = r1[l], ai1 = m1[l];
+          r0[l] = (u00r[l] * ar0 - u00i[l] * ai0) + (u01r[l] * ar1 - u01i[l] * ai1);
+          m0[l] = (u00r[l] * ai0 + u00i[l] * ar0) + (u01r[l] * ai1 + u01i[l] * ar1);
+          r1[l] = (u10r[l] * ar0 - u10i[l] * ai0) + (u11r[l] * ar1 - u11i[l] * ai1);
+          m1[l] = (u10r[l] * ai0 + u10i[l] * ar0) + (u11r[l] * ai1 + u11i[l] * ar1);
+        }
+      });
+      return;
+    }
+    // Mixed structure classes: each lane takes its own scalar dispatch.
+    for (std::size_t l = 0; l < L; ++l) apply_matrix_lane(us[l], qubits[0], l);
+    return;
+  }
+
+  if (k == 2) {
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    std::uint64_t offset[4];
+    for (std::size_t s = 0; s < 4; ++s)
+      offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0);
+
+    bool all_diag = true;
+    for (const CMat& u : us)
+      if (!detail::is_diagonal4(u)) all_diag = false;
+    if (all_diag) {
+      // The per-lane-theta RZZ kernel: four per-lane phase rows, one
+      // quad-base sweep.
+      for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t s = 0; s < 4; ++s) {
+          scratch_re_[s * L + l] = us[l](s, s).real();
+          scratch_im_[s * L + l] = us[l](s, s).imag();
+        }
+      for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 4; ++s) {
+          const double* __restrict__ dr = &scratch_re_[s * L];
+          const double* __restrict__ di = &scratch_im_[s * L];
+          double* __restrict__ r = &re_[(i | offset[s]) * L];
+          double* __restrict__ m = &im_[(i | offset[s]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            const double ar = r[l], ai = m[l];
+            r[l] = dr[l] * ar - di[l] * ai;
+            m[l] = dr[l] * ai + di[l] * ar;
+          }
+        }
+      });
+      return;
+    }
+
+    bool any_structured = false;
+    detail::Perm4 p4;
+    for (const CMat& u : us)
+      if (detail::is_diagonal4(u) || detail::as_permutation4(u, p4)) any_structured = true;
+    if (!any_structured) {
+      // All-dense: per-lane 4x4 coefficient rows, gather scratch as in the
+      // broadcast kernel, the same product/association order per lane.
+      std::vector<double> cr(16 * L), ci(16 * L);
+      for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t r = 0; r < 4; ++r)
+          for (std::size_t c = 0; c < 4; ++c) {
+            cr[(r * 4 + c) * L + l] = us[l](r, c).real();
+            ci[(r * 4 + c) * L + l] = us[l](r, c).imag();
+          }
+      std::vector<double>& sr = scratch_re_;
+      std::vector<double>& si = scratch_im_;
+      for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 4; ++s) {
+          const double* __restrict__ r = &re_[(i | offset[s]) * L];
+          const double* __restrict__ m = &im_[(i | offset[s]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            sr[s * L + l] = r[l];
+            si[s * L + l] = m[l];
+          }
+        }
+        for (std::size_t r = 0; r < 4; ++r) {
+          double* __restrict__ outr = &re_[(i | offset[r]) * L];
+          double* __restrict__ outm = &im_[(i | offset[r]) * L];
+          const double* __restrict__ ur0 = &cr[(r * 4 + 0) * L];
+          const double* __restrict__ ur1 = &cr[(r * 4 + 1) * L];
+          const double* __restrict__ ur2 = &cr[(r * 4 + 2) * L];
+          const double* __restrict__ ur3 = &cr[(r * 4 + 3) * L];
+          const double* __restrict__ ui0 = &ci[(r * 4 + 0) * L];
+          const double* __restrict__ ui1 = &ci[(r * 4 + 1) * L];
+          const double* __restrict__ ui2 = &ci[(r * 4 + 2) * L];
+          const double* __restrict__ ui3 = &ci[(r * 4 + 3) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            const double p0r = ur0[l] * sr[0 * L + l] - ui0[l] * si[0 * L + l];
+            const double p0i = ur0[l] * si[0 * L + l] + ui0[l] * sr[0 * L + l];
+            const double p1r = ur1[l] * sr[1 * L + l] - ui1[l] * si[1 * L + l];
+            const double p1i = ur1[l] * si[1 * L + l] + ui1[l] * sr[1 * L + l];
+            const double p2r = ur2[l] * sr[2 * L + l] - ui2[l] * si[2 * L + l];
+            const double p2i = ur2[l] * si[2 * L + l] + ui2[l] * sr[2 * L + l];
+            const double p3r = ur3[l] * sr[3 * L + l] - ui3[l] * si[3 * L + l];
+            const double p3i = ur3[l] * si[3 * L + l] + ui3[l] * sr[3 * L + l];
+            outr[l] = ((p0r + p1r) + p2r) + p3r;
+            outm[l] = ((p0i + p1i) + p2i) + p3i;
+          }
+        }
+      });
+      return;
+    }
+  }
+
+  // Mixed structure, permutation, or k > 2: per-lane strided applies with
+  // the scalar dispatch.
+  for (std::size_t l = 0; l < L; ++l) apply_matrix_one_lane(us[l], qubits, l);
+}
+
+void BatchedStatevector::apply_matrix_one_lane(const CMat& u,
+                                               const std::vector<std::size_t>& qubits,
+                                               std::size_t lane) {
+  const std::size_t k = qubits.size();
+  HGP_REQUIRE(u.rows() == (std::size_t{1} << k) && u.cols() == u.rows(),
+              "apply_matrix_one_lane: matrix size mismatch");
+  HGP_REQUIRE(lane < lanes_, "apply_matrix_one_lane: lane out of range");
+  for (std::size_t q : qubits)
+    HGP_REQUIRE(q < num_qubits_, "apply_matrix_one_lane: qubit out of range");
+  if (k == 1) {
+    apply_matrix_lane(u, qubits[0], lane);
+    return;
+  }
+  const std::size_t L = lanes_;
+  auto at = [&](std::uint64_t i) -> cxd { return {re_[i * L + lane], im_[i * L + lane]}; };
+  auto put = [&](std::uint64_t i, cxd a) {
+    re_[i * L + lane] = a.real();
+    im_[i * L + lane] = a.imag();
+  };
+
+  if (k == 2) {
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    if (detail::is_diagonal4(u)) {
+      const cxd d[4] = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
+      for (std::uint64_t i = 0; i < dim_; ++i) {
+        const std::size_t sub = ((i & b0) ? 1u : 0u) | ((i & b1) ? 2u : 0u);
+        put(i, at(i) * d[sub]);
+      }
+      return;
+    }
+    detail::Perm4 p4;
+    if (detail::as_permutation4(u, p4)) {
+      std::uint64_t offset[4];
+      for (std::size_t s = 0; s < 4; ++s)
+        offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0);
+      for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+        cxd a[4];
+        for (std::size_t s = 0; s < 4; ++s) a[s] = at(i | offset[s]);
+        for (std::size_t s = 0; s < 4; ++s) put(i | offset[p4.perm[s]], p4.phase[s] * a[s]);
+      });
+      return;
+    }
+    for_each_quad_base(dim_, b0, b1, [&](std::uint64_t i) {
+      const std::uint64_t i0 = i, i1 = i | b0, i2 = i | b1, i3 = i | b0 | b1;
+      const cxd a0 = at(i0), a1 = at(i1), a2 = at(i2), a3 = at(i3);
+      put(i0, u(0, 0) * a0 + u(0, 1) * a1 + u(0, 2) * a2 + u(0, 3) * a3);
+      put(i1, u(1, 0) * a0 + u(1, 1) * a1 + u(1, 2) * a2 + u(1, 3) * a3);
+      put(i2, u(2, 0) * a0 + u(2, 1) * a1 + u(2, 2) * a2 + u(2, 3) * a3);
+      put(i3, u(3, 0) * a0 + u(3, 1) * a1 + u(3, 2) * a2 + u(3, 3) * a3);
+    });
+    return;
+  }
+
+  // Generic k: the scalar backend's block enumeration, one lane's stride.
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<std::uint64_t> masks(k);
+  for (std::size_t j = 0; j < k; ++j) masks[j] = std::uint64_t{1} << qubits[j];
+  std::vector<std::uint64_t> sorted_masks = masks;
+  std::sort(sorted_masks.begin(), sorted_masks.end());
+  std::vector<cxd> local(dim);
+  const std::uint64_t num_bases = dim_ >> k;
+  for (std::uint64_t t = 0; t < num_bases; ++t) {
+    const std::uint64_t base = detail::expand_base(t, sorted_masks.data(), k);
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      std::uint64_t idx = base;
+      for (std::size_t j = 0; j < k; ++j)
+        if ((s >> j) & 1) idx |= masks[j];
+      local[s] = at(idx);
+    }
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      cxd acc{0.0, 0.0};
+      for (std::uint64_t s = 0; s < dim; ++s) acc += u(r, s) * local[s];
+      std::uint64_t idx = base;
+      for (std::size_t j = 0; j < k; ++j)
+        if ((r >> j) & 1) idx |= masks[j];
+      put(idx, acc);
+    }
+  }
+}
+
+void BatchedStatevector::weighted_masses(const double* values, double* num,
+                                         double* den) const {
+  const std::size_t L = lanes_;
+  for (std::size_t l = 0; l < L; ++l) {
+    num[l] = 0.0;
+    den[l] = 0.0;
+  }
+  for (std::uint64_t i = 0; i < dim_; ++i) {
+    const double* __restrict__ r = &re_[i * L];
+    const double* __restrict__ m = &im_[i * L];
+    const double v = values[i];
+    for (std::size_t l = 0; l < L; ++l) {
+      const double p = r[l] * r[l] + m[l] * m[l];
+      num[l] += v * p;
+      den[l] += p;
+    }
+  }
+}
+
+void BatchedStatevector::accumulate_mapped(const std::uint32_t* map, double* out) const {
+  const std::size_t L = lanes_;
+  for (std::uint64_t i = 0; i < dim_; ++i) {
+    const double* __restrict__ r = &re_[i * L];
+    const double* __restrict__ m = &im_[i * L];
+    double* __restrict__ o = &out[static_cast<std::size_t>(map[i]) * L];
+    for (std::size_t l = 0; l < L; ++l) o[l] += r[l] * r[l] + m[l] * m[l];
+  }
+}
+
 void BatchedStatevector::sample_lanes(const double* x, const std::uint8_t* active,
                                       std::uint64_t* out) const {
   const std::size_t L = lanes_;

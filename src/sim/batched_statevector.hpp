@@ -71,6 +71,50 @@ class BatchedStatevector {
   /// per-lane depolarizing branches). Mirrors the scalar 1q kernels exactly.
   void apply_matrix_lane(const la::CMat& u, std::size_t q, std::size_t lane);
 
+  /// Grouped Pauli pass of the depolarizing channel: codes[l] in {0=I, 1=X,
+  /// 2=Y, 3=Z} selects the Pauli applied to lane l on qubit q (code 0 leaves
+  /// the lane untouched). One pair-base sweep replaces up to lanes() strided
+  /// apply_matrix_lane calls when several lanes drew a charge at once; the
+  /// per-lane arithmetic is the literal complex product with the 0 / ±1
+  /// Pauli entries, so each lane is bitwise what apply_matrix_lane with the
+  /// same Pauli would produce.
+  void apply_pauli_lanes(std::size_t q, const std::uint8_t* codes);
+
+  // ---- per-lane operators (candidate-lane batching) ----
+
+  /// Apply a *different* operator per lane in one pass — the parameterized
+  /// blocks of a candidate-lane batch, where every lane shares the circuit
+  /// structure but carries its own rotation angle. us[l] acts on lane l
+  /// (us.size() == lanes()). When all lanes share one structure class (all
+  /// 1q diagonal / anti-diagonal / dense, or all 2q diagonal / dense) the
+  /// kernel is lane-vectorized with per-lane coefficient rows; mixed classes
+  /// and k > 2 fall back to per-lane strided applies. Either way lane l ends
+  /// up bitwise identical (up to zero signs) to a scalar
+  /// Statevector::apply_matrix(us[l], qubits).
+  void apply_matrix_per_lane(const std::vector<la::CMat>& us,
+                             const std::vector<std::size_t>& qubits);
+
+  /// Apply a k-qubit operator to one lane only (strided), with the scalar
+  /// backend's full structure dispatch — the mixed-structure fallback of
+  /// apply_matrix_per_lane. Generalizes apply_matrix_lane beyond one qubit.
+  void apply_matrix_one_lane(const la::CMat& u, const std::vector<std::size_t>& qubits,
+                             std::size_t lane);
+
+  // ---- lane-native objective reductions (no terminal sampling) ----
+
+  /// One lane-major sweep over the [basis][lane] planes: num[l] +=
+  /// values[i] * p and den[l] += p in ascending basis order, with p = re^2 +
+  /// im^2 — the sampling-free expectation pass (values indexed by the local
+  /// basis index). States may be unnormalized (trajectory lanes carry their
+  /// squared norm); num[l] / den[l] is lane l's normalized expectation. The
+  /// accumulation mirrors Statevector::weighted_mass term-for-term.
+  void weighted_masses(const double* values, double* num, double* den) const;
+
+  /// Mapped probability accumulation for the CVaR tail pass: for every basis
+  /// index i (ascending), out[map[i] * lanes + l] += p. The caller zeroes
+  /// `out` (num_mapped x lanes entries) and owns any normalization.
+  void accumulate_mapped(const std::uint32_t* map, double* out) const;
+
   // ---- terminal sampling ----
 
   /// One probability pass for all lanes: out[l] = first basis index i with

@@ -43,6 +43,16 @@ inline void for_each_one(std::uint64_t size, std::uint64_t b, F&& f) {
     for (std::uint64_t i = base; i < base + b; ++i) f(i);
 }
 
+/// True when the 2x2 operator is diagonal (RZ/Z-frame blocks).
+inline bool is_diagonal2(const la::CMat& u) {
+  return u.rows() == 2 && is_zero(u(0, 1)) && is_zero(u(1, 0));
+}
+
+/// True when the 2x2 operator is anti-diagonal (X/Y-like).
+inline bool is_antidiagonal2(const la::CMat& u) {
+  return u.rows() == 2 && is_zero(u(0, 0)) && is_zero(u(1, 1));
+}
+
 /// True when the 4x4 operator is diagonal (RZZ/CZ/CPhase).
 inline bool is_diagonal4(const la::CMat& u) {
   for (std::size_t r = 0; r < 4; ++r)

@@ -154,6 +154,17 @@ std::vector<double> Statevector::probabilities() const {
   return p;
 }
 
+void Statevector::weighted_mass(const double* values, double& num, double& den) const {
+  num = 0.0;
+  den = 0.0;
+  for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+    const double ar = amp_[i].real(), ai = amp_[i].imag();
+    const double p = ar * ar + ai * ai;
+    num += values[i] * p;
+    den += p;
+  }
+}
+
 std::uint64_t Statevector::sample_one(Rng& rng) const {
   // One shot: a single accumulate-and-compare pass, no CDF materialization.
   // The state is unit-norm (trajectory branches renormalize), so the draw is

@@ -35,6 +35,13 @@ class Statevector final : public QuantumState {
   void apply_matrix(const la::CMat& u, const std::vector<std::size_t>& qubits) override;
 
   std::vector<double> probabilities() const override;
+  /// Probability-weighted sum over the basis without materializing a CDF:
+  /// num += values[i] * p_i and den += p_i in ascending basis order, with
+  /// p_i = re^2 + im^2 — term-for-term the same accumulation as
+  /// BatchedStatevector::weighted_masses, so a scalar evaluation is
+  /// bit-identical to any lane of a batched one. The state may be
+  /// unnormalized (den carries the actual squared norm).
+  void weighted_mass(const double* values, double& num, double& den) const;
   std::uint64_t sample_one(Rng& rng) const override;
   double expectation(const la::PauliSum& obs) const override;
   double prob_one(std::size_t q) const override;

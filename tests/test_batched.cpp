@@ -329,3 +329,31 @@ TEST(BatchedKernels, SampleLanesMatchesScalarScan) {
     EXPECT_EQ(sorted_out[draws[d].second], want) << "draw " << d;
   }
 }
+
+// ---- grouped depolarizing charges -------------------------------------------
+
+TEST(BatchedTrajectories, LargeDepolarizingRatesStayBitIdenticalToScalar) {
+  // At production dep rates a lane group rarely charges more than one lane
+  // per block, so the grouped Pauli pass's multi-lane path barely runs.
+  // Crank the rates until most blocks charge several lanes at once: the
+  // lane-grouped walk (one pass over the block's qubits, apply_pauli_lanes
+  // for every multi-lane Pauli) must still reproduce the scalar per-shot
+  // counts bit for bit.
+  backend::FakeBackend dev = backend::make_toronto();
+  dev.mutable_noise_model().dep_per_1q_pulse = 0.2;
+  dev.mutable_noise_model().dep_per_2q_block = 0.35;
+
+  const Program prog = ladder_program(5);
+  auto run = [&](std::size_t lanes) {
+    ExecutorOptions opts;
+    opts.shot_batch_lanes = lanes;
+    opts.num_threads = 1;
+    Executor ex(dev, opts);
+    Rng rng(321);
+    return ex.run(prog, 600, rng);
+  };
+  const sim::Counts reference = run(1);
+  EXPECT_EQ(total_shots(reference), 600u);
+  for (std::size_t lanes : {4u, 7u, 32u})
+    EXPECT_EQ(run(lanes), reference) << "lanes=" << lanes;
+}

@@ -606,3 +606,76 @@ TEST(CompiledScheduleSerialization, TruncatedPayloadRejected) {
     EXPECT_FALSE(psim::CompiledSchedule::deserialize(in, out));
   }
 }
+
+TEST(BlockStore, CompactionDropsEvictedRecordsAndRoundTripsResidents) {
+  // Append-only write-through never reclaims records the LRU has evicted:
+  // across many runs the file accretes dead entries. compact_store() rewrites
+  // it down to the cache's residents — which must come back bit-exact — and
+  // the file must actually shrink.
+  const std::string path = store_path("compact");
+  BlockCache cache(2);  // capacity 2: inserts 3..6 evict 1..4
+  cache.attach_store(path, 7u);
+  for (int i = 0; i < 6; ++i)
+    cache.insert("k" + std::to_string(i), make_block(0.5 * i, 2));
+  const std::size_t grown = read_file(path).size();
+  {
+    BlockCache full(64);
+    EXPECT_EQ(full.load(path, 7u).loaded, 6u);  // all six records on disk
+  }
+
+  EXPECT_EQ(cache.compact_store(), 2u);
+  EXPECT_LT(read_file(path).size(), grown);
+
+  BlockCache loaded(64);
+  const BlockCache::StoreReport report = loaded.load(path, 7u);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.skipped, 0u);
+  for (int i = 4; i < 6; ++i) {
+    const auto b = loaded.find("k" + std::to_string(i));
+    ASSERT_NE(b, nullptr) << i;
+    expect_block_eq(*b, make_block(0.5 * i, 2));
+  }
+  EXPECT_EQ(loaded.find("k0"), nullptr);
+
+  // The appender stays live on the same inode: post-compaction compiles keep
+  // persisting, including re-compiles of keys the compaction dropped.
+  cache.insert("k0", make_block(0.0, 2));
+  BlockCache again(64);
+  EXPECT_EQ(again.load(path, 7u).loaded, 3u);
+  ASSERT_NE(again.find("k0"), nullptr);
+}
+
+TEST(BlockStore, CompactionKeepsOtherCalibrationsRecords) {
+  // Records another backend fingerprint owns cannot be judged live or dead
+  // from this cache — compaction must carry them through verbatim.
+  const std::string path = store_path("compact_foreign");
+  {
+    BlockCache old_cal(64);
+    old_cal.attach_store(path, 1u);
+    old_cal.insert("old_a", make_block(1.0, 2), BlockKind::Gate, 1u);
+    old_cal.insert("old_b", make_block(2.0, 4), BlockKind::Pulse, 1u);
+  }
+  BlockCache new_cal(1);  // capacity 1 so the first new insert gets evicted
+  new_cal.attach_store(path, 2u);  // takeover: old records stay on disk
+  new_cal.insert("new_a", make_block(3.0, 2), BlockKind::Gate, 2u);
+  new_cal.insert("new_b", make_block(4.0, 2), BlockKind::Gate, 2u);
+  EXPECT_EQ(new_cal.compact_store(), 3u);  // 2 foreign + 1 resident
+
+  BlockCache as_old(64);
+  EXPECT_EQ(as_old.load(path, 1u).loaded, 2u);
+  const auto a = as_old.find("old_a", BlockKind::Gate);
+  ASSERT_NE(a, nullptr);
+  expect_block_eq(*a, make_block(1.0, 2));
+
+  BlockCache as_new(64);
+  EXPECT_EQ(as_new.load(path, 2u).loaded, 1u);
+  EXPECT_EQ(as_new.find("new_a"), nullptr);  // evicted, hence compacted away
+  ASSERT_NE(as_new.find("new_b"), nullptr);
+}
+
+TEST(BlockStore, CompactionWithoutStoreIsANoOp) {
+  BlockCache cache(8);
+  cache.insert("a", make_block(1.0, 2));
+  EXPECT_EQ(cache.compact_store(), 0u);
+}

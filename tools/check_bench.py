@@ -2,8 +2,8 @@
 """Bench-regression gate for the BENCH_*.json baselines.
 
 Compares the JSON files the bench smoke emits (BENCH_shotloop.json,
-BENCH_sweep.json, BENCH_pulse.json) against the committed baselines in
-bench/baselines/ and fails (exit 1) if:
+BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json) against the
+committed baselines in bench/baselines/ and fails (exit 1) if:
 
   * any current file is missing or unparsable,
   * any `bit_identical` flag is false (a determinism regression is a bug,
@@ -37,6 +37,7 @@ SPEEDUP_FIELDS = {
     "BENCH_shotloop.json": ["speedup"],
     "BENCH_sweep.json": ["speedup"],
     "BENCH_pulse.json": ["speedup", "ir_speedup"],
+    "BENCH_gradient.json": ["expectation_speedup", "gradient_speedup"],
 }
 BENCH_FILES = sorted(SPEEDUP_FIELDS)
 
