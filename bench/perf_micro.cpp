@@ -12,6 +12,9 @@
 #include "graph/instances.hpp"
 #include "linalg/eig.hpp"
 #include "mitigation/m3.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "pulsesim/simulator.hpp"
 #include "sim/batched_statevector.hpp"
 #include "sim/statevector.hpp"
@@ -344,6 +347,59 @@ static void BM_M3Mitigate(benchmark::State& state) {
   state.SetLabel(std::to_string(counts.size()) + " strings");
 }
 BENCHMARK(BM_M3Mitigate)->Arg(16)->Arg(48);
+
+// ---- hgp::obs instruments: the telemetry-on vs -off cost per call ----------
+//
+// Each pair measures one instrument in both gate states. The Off rows are
+// the price every uninstrumented run pays (one relaxed flag load); the On
+// rows are the live cost (sharded fetch_add for a counter; two clock reads,
+// an id, and a ring write for a span). The Off rows should be within noise
+// of an empty loop.
+
+static void BM_ObsCounterIncOn(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Counter c;
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(&c);
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncOn);
+
+static void BM_ObsCounterIncOff(benchmark::State& state) {
+  obs::set_enabled(false);
+  obs::Counter c;
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(&c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncOff);
+
+static void BM_ObsSpanOn(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Histogram h(obs::default_latency_bounds_ns());
+  for (auto _ : state) {
+    obs::Span span("perf_micro.span", &h);
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanOn);
+
+static void BM_ObsSpanOff(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::Span span("perf_micro.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanOff);
 
 static void BM_Eigh(benchmark::State& state) {
   Rng rng(3);

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "mitigation/cvar.hpp"
 #include "noise/channels.hpp"
+#include "obs/trace.hpp"
 #include "pulsesim/simulator.hpp"
 #include "sim/kernel_structure.hpp"
 
@@ -22,6 +23,50 @@ namespace hgp::core {
 using la::CMat;
 
 namespace {
+
+/// The executor's process-wide "executor.*" telemetry series, resolved from
+/// the registry once. Stage histograms are fed by RAII spans (so the same
+/// event lands in the run-lifecycle trace); the Kraus-branch counters are
+/// flushed once per lane group, never per draw, keeping the hot loop clean.
+struct ExecMetrics {
+  obs::Counter& shots;
+  obs::Counter& lane_groups;
+  obs::Counter& kraus_jumps;
+  obs::Counter& dephase_flips;
+  obs::Counter& pauli_charges;
+  obs::Counter& blocks_compiled;
+  obs::Counter& expectation_batches;
+  obs::Gauge& trajectory_shots_per_s;
+  obs::Gauge& lane_groups_per_s;
+  obs::Histogram& run_ns;
+  obs::Histogram& compile_ns;
+  obs::Histogram& block_compile_ns;
+  obs::Histogram& lane_evolve_ns;
+  obs::Histogram& sample_ns;
+  obs::Histogram& aggregate_ns;
+
+  static ExecMetrics& get() {
+    static ExecMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return ExecMetrics{reg.counter("executor.shots"),
+                         reg.counter("executor.lane_groups"),
+                         reg.counter("executor.kraus_jumps"),
+                         reg.counter("executor.dephase_flips"),
+                         reg.counter("executor.pauli_charges"),
+                         reg.counter("executor.blocks_compiled"),
+                         reg.counter("executor.expectation_batches"),
+                         reg.gauge("executor.trajectory_shots_per_s"),
+                         reg.gauge("executor.lane_groups_per_s"),
+                         reg.histogram("executor.run_ns"),
+                         reg.histogram("executor.compile_ns"),
+                         reg.histogram("executor.block_compile_ns"),
+                         reg.histogram("executor.lane_evolve_ns"),
+                         reg.histogram("executor.sample_ns"),
+                         reg.histogram("executor.aggregate_ns")};
+    }();
+    return m;
+  }
+};
 
 /// Shots per work unit of the parallel trajectory engine. The batch grid is
 /// fixed (independent of thread count) and each batch draws from its own
@@ -452,6 +497,13 @@ CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
   const std::string cache_key = key_prefix_ + structure_key;
   if (const auto cached = cache_->find(cache_key, kind)) return *cached;
 
+  // A miss means a real compile (pulse-ODE simulation for coherent blocks):
+  // span it so the trace separates compile time from cache-hit replay. Hit
+  // traffic is counted by the cache's own block_cache.* series.
+  ExecMetrics& em = ExecMetrics::get();
+  obs::Span compile_span("executor.compile_block", &em.block_compile_ns);
+  em.blocks_compiled.inc();
+
   CompiledBlock block;
   block.qubits = qubits;
   fill_schedule_metadata(block, sched);
@@ -618,6 +670,12 @@ LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptio
   const double dep1 = nm.dep_per_1q_pulse;
   const double dep2 = nm.dep_per_2q_block;
 
+  // Kraus-branch telemetry: plain locals bumped inside the branch decisions
+  // (no atomics, no clock) and flushed to the sharded counters once per lane
+  // group — per-draw instrumentation would be the one thing that could blow
+  // the <=2% telemetry budget.
+  std::uint64_t n_jumps = 0, n_flips = 0, n_pauli = 0;
+
   static thread_local LaneWorkspace ws;
 
   // Per-lane streams: lane l replays exactly the draw sequence shot
@@ -672,6 +730,7 @@ LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptio
       if (flip[l]) {
         any_flip = true;
         diverged[l] = 1;
+        ++n_flips;
       }
     }
     if (rc.gamma > 0.0) {
@@ -689,6 +748,7 @@ LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptio
             scale1[l] = 0.0;  // jump: |1> moves to |0> (flip acts on zeros)
             weight[l] = m1[l];
             diverged[l] = 1;
+            ++n_jumps;
           } else {
             take[l] = 0.0;
             scale1[l] = flip[l] ? -rc.damp : rc.damp;
@@ -730,6 +790,7 @@ LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptio
       if (picks[l] != 0) {
         diverged[l] = 1;
         ++charged;
+        ++n_pauli;
       }
     }
     if (charged == 0) return;
@@ -761,6 +822,13 @@ LaneWorkspace& evolve_lanes(const backend::FakeBackend& dev, const ExecutorOptio
         bsv.apply_matrix(u, locals);
       },
       depolarize);
+
+  if (obs::enabled() && (n_jumps | n_flips | n_pauli) != 0) {
+    ExecMetrics& em = ExecMetrics::get();
+    if (n_jumps) em.kraus_jumps.inc(n_jumps);
+    if (n_flips) em.dephase_flips.inc(n_flips);
+    if (n_pauli) em.pauli_charges.inc(n_pauli);
+  }
   return ws;
 }
 
@@ -771,7 +839,11 @@ void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector
                               sim::Counts& out) const {
   const std::size_t nl = bsv.lanes();
   const noise::NoiseModel& nm = dev_.noise_model();
+  ExecMetrics& em = ExecMetrics::get();
+  obs::Span evolve_span("executor.lane_evolve", &em.lane_evolve_ns);
   LaneWorkspace& ws = evolve_lanes(dev_, options_, cp, bsv, rng_base, first_shot);
+  evolve_span.finish();
+  obs::Span sample_span("executor.sample", &em.sample_ns);
   std::vector<Rng>& rngs = ws.rngs;
   std::vector<double>& weight = ws.weight;
   std::vector<std::uint8_t>& diverged = ws.diverged;
@@ -800,6 +872,8 @@ void Executor::run_lane_group(const CompiledProgram& cp, sim::BatchedStatevector
     if (options_.readout_error) b = apply_readout_flips(b, cp, nm, rngs[l]);
     ++out[map_bits(b, cp)];
   }
+  em.lane_groups.inc();
+  em.shots.inc(nl);
 }
 
 sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t shots,
@@ -825,6 +899,7 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
         Rng shot_rng = Rng::child(base, first + s);
         run_one_shot(cp, sv, shot_rng, batch_counts[b]);
       }
+      ExecMetrics::get().shots.inc(count);
       return;
     }
     // Lane-parallel: lockstep groups of `lanes` shots; the (reused) full
@@ -845,7 +920,21 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
     }
   };
 
+  // Throughput gauges cover the whole shot grid (all batches, all threads);
+  // the clock is read only while telemetry is live.
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
   for_each_batch(num_batches, options_.num_threads, run_batch);
+  if (t0 != 0) {
+    const double secs = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    if (secs > 0.0) {
+      ExecMetrics& em = ExecMetrics::get();
+      em.trajectory_shots_per_s.set(
+          static_cast<std::int64_t>(static_cast<double>(shots) / secs));
+      const std::size_t groups = lanes > 1 ? (shots + lanes - 1) / lanes : 0;
+      em.lane_groups_per_s.set(
+          static_cast<std::int64_t>(static_cast<double>(groups) / secs));
+    }
+  }
 
   // Deterministic merge: batch order is fixed and count addition commutes.
   sim::Counts out;
@@ -927,9 +1016,13 @@ sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
   refresh_key_prefix();
 
+  ExecMetrics& em = ExecMetrics::get();
+  obs::Span run_span("executor.run", &em.run_ns);
   const bool noisy = options_.noise;
   const bool density = noisy && options_.engine == Engine::ExactDensity;
+  obs::Span compile_span("executor.compile", &em.compile_ns);
   const CompiledProgram cp = compile_program(program, density ? 10 : 14);
+  compile_span.finish();
   report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
 
   if (!noisy) return run_noiseless(cp, shots, rng);
@@ -947,9 +1040,14 @@ double Executor::run_expectation(const Program& program, std::size_t shots, Rng&
               "Executor::run_expectation: nothing to measure");
 
   refresh_key_prefix();
+  ExecMetrics& em = ExecMetrics::get();
+  // Objective aggregation (evolve + exact per-shot reduction) as one span.
+  obs::Span objective_span("executor.objective", &em.aggregate_ns);
   const bool noisy = options_.noise;
   const bool density = noisy && options_.engine == Engine::ExactDensity;
+  obs::Span compile_span("executor.compile", &em.compile_ns);
   const CompiledProgram cp = compile_program(program, density ? 10 : 14);
+  compile_span.finish();
   report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
 
   // Tabulate the diagonal observable once over the 2^m measured outcomes,
@@ -1123,6 +1221,9 @@ std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& 
               "Executor::run_expectation_batch: candidate-lane batching is noiseless only");
 
   refresh_key_prefix();
+  ExecMetrics& em = ExecMetrics::get();
+  obs::Span batch_span("executor.candidate_batch");
+  em.expectation_batches.inc();
   const std::size_t B = programs.size();
   const Program& p0 = programs.front();
   HGP_REQUIRE(!p0.measure_qubits.empty(),

@@ -5,6 +5,7 @@
 #include "core/qaoa.hpp"
 #include "mitigation/cvar.hpp"
 #include "mitigation/m3.hpp"
+#include "obs/obs.hpp"
 #include "optimize/cobyla.hpp"
 #include "optimize/neldermead.hpp"
 #include "optimize/spsa.hpp"
@@ -33,6 +34,11 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
                    ModelKind kind, const RunConfig& config,
                    opt::BatchDispatcher* dispatcher,
                    std::shared_ptr<serve::BlockCache> block_cache) {
+  // Sticky by design: telemetry is a process-wide flag, so one instrumented
+  // run in a sweep lights up the shared registry for the rest of the process
+  // (concurrent runs would race an on/off toggle here).
+  if (config.telemetry) obs::set_enabled(true);
+
   ModelConfig mcfg = config.model;
   mcfg.gate_optimization = config.gate_optimization;
   const QaoaModel model = QaoaModel::build(instance.graph, dev, kind, mcfg);

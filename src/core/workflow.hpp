@@ -61,6 +61,11 @@ struct RunConfig {
   std::string block_store_path;
   /// Shots for the M3 readout-calibration programs.
   std::size_t calibration_shots = 4096;
+  /// Turn on the hgp::obs telemetry layer (process-wide) for this run —
+  /// metrics, spans, and throughput gauges. Equivalent to HGP_OBS=1 in the
+  /// environment; telemetry never changes results (counts are bit-identical
+  /// on vs off). Off by default: disabled instruments are near-no-ops.
+  bool telemetry = false;
   ModelConfig model;
   std::uint64_t seed = 2023;
 };

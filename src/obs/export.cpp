@@ -1,0 +1,123 @@
+// Registry exporters: one JSON snapshot (machine-readable, consumed by the
+// benches and tests) and one Prometheus text exposition (scrape-ready).
+// Both walk the sorted metric maps under the registry mutex; the values they
+// read are relaxed atomic snapshots, not one consistent cut.
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+/// Minimal JSON string escaping — metric names are identifiers, but a
+/// malformed document must be impossible whatever the name.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric name: dots to underscores under the hgp_ namespace.
+std::string prom_name(const std::string& name) {
+  std::string out = "hgp_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"buckets\":[";
+    const std::vector<std::uint64_t>& bounds = h->bounds();
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"le\":";
+      if (i < bounds.size())
+        os << bounds[i];
+      else
+        os << "\"+Inf\"";
+      os << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " histogram\n";
+    const std::vector<std::uint64_t>& bounds = h->bounds();
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    // Prometheus buckets are cumulative: each le cell includes everything
+    // below it, and the +Inf cell equals the total count.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      os << pn << "_bucket{le=\"";
+      if (i < bounds.size())
+        os << bounds[i];
+      else
+        os << "+Inf";
+      os << "\"} " << cum << "\n";
+    }
+    os << pn << "_sum " << h->sum() << "\n" << pn << "_count " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hgp::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace hgp::obs {
+
+/// Counter shards. Each thread sticks to one cache-line-padded shard (index
+/// assigned round-robin on first use), so concurrent increments from the
+/// trajectory worker pool never bounce a shared line — the increment is one
+/// uncontended relaxed fetch_add, ~1 ns.
+inline constexpr std::size_t kCounterShards = 16;
+
+namespace detail {
+/// This thread's sticky shard index in [0, kCounterShards).
+std::size_t shard_index();
+}  // namespace detail
+
+/// Monotonically increasing event count (shots run, cache hits, Kraus
+/// jumps). Increments are wait-free and sharded; value() folds the shards.
+class Counter {
+ public:
+  /// Gated increment: a near-no-op while telemetry is disabled.
+  void inc(std::uint64_t n = 1) {
+    if (enabled()) add(n);
+  }
+  /// Ungated increment for call sites that must always count.
+  void add(std::uint64_t n) {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, shots/s throughput).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram over unsigned values (nanoseconds by
+/// convention). Bucket i counts records <= bounds[i] (Prometheus `le`
+/// semantics); one implicit overflow bucket catches the rest. Records are
+/// wait-free relaxed fetch_adds; snapshots are torn-read-safe (every cell is
+/// an atomic) but not a single consistent cut — fine for monitoring.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  /// Gated record: a near-no-op while telemetry is disabled.
+  void record(std::uint64_t v) {
+    if (enabled()) record_always(v);
+  }
+  void record_always(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 cells; the last is the +Inf overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// The default latency ladder: 1 us to 100 s, decade steps — wide enough
+/// for a block compile (ms) and a whole sweep job (s) on one scale.
+std::vector<std::uint64_t> default_latency_bounds_ns();
+
+/// Process-wide named-metric registry. Lookup (mutexed map) happens once per
+/// call site — instruments hold the returned reference, whose address is
+/// stable for the registry's lifetime. Export via to_json()/to_prometheus().
+class Registry {
+ public:
+  /// The process-wide registry every subsystem reports through.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name. The same name always returns the same metric,
+  /// so independent components (every BlockCache, every Executor) aggregate
+  /// into one process-wide series.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration; empty = the default
+  /// latency ladder.
+  Histogram& histogram(const std::string& name, std::vector<std::uint64_t> bounds = {});
+
+  /// One JSON document of every registered metric (sorted by name):
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Prometheus text exposition ('.' in names becomes '_', "hgp_" prefix).
+  std::string to_prometheus() const;
+
+  /// Zero every metric's value (registrations and addresses survive) —
+  /// benches and tests measure deltas from here.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hgp::obs

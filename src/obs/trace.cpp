@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace hgp::obs {
+
+namespace detail {
+
+std::uint64_t& current_span() {
+  thread_local std::uint64_t current = 0;
+  return current;
+}
+
+}  // namespace detail
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer(std::size_t capacity) : slots_(capacity) {
+  HGP_REQUIRE(capacity >= 1, "obs::Tracer: capacity must be positive");
+}
+
+void Tracer::record(const SpanRecord& r) {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[seq % slots_.size()];
+  // Invalidate first so a concurrent snapshot never stitches the old
+  // record's tail onto this one's head, then publish with the new stamp.
+  s.stamp.store(0, std::memory_order_release);
+  s.id.store(r.id, std::memory_order_relaxed);
+  s.parent.store(r.parent, std::memory_order_relaxed);
+  s.start_ns.store(r.start_ns, std::memory_order_relaxed);
+  s.end_ns.store(r.end_ns, std::memory_order_relaxed);
+  s.name.store(r.name, std::memory_order_relaxed);
+  s.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  const std::uint64_t total = seq_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t first = total > cap ? total - cap : 0;
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(total - first));
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& s = slots_[seq % cap];
+    if (s.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    SpanRecord r;
+    r.id = s.id.load(std::memory_order_relaxed);
+    r.parent = s.parent.load(std::memory_order_relaxed);
+    r.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    r.end_ns = s.end_ns.load(std::memory_order_relaxed);
+    r.name = s.name.load(std::memory_order_relaxed);
+    // A concurrent overwrite between the two stamp reads would have zeroed
+    // the stamp first, so a still-matching stamp means the payload is whole.
+    if (s.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  for (Slot& s : slots_) s.stamp.store(0, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_release);
+}
+
+void Span::finish() {
+  if (!active_) return;
+  active_ = false;
+  SpanRecord r;
+  r.id = id_;
+  r.parent = parent_;
+  r.start_ns = start_;
+  r.end_ns = now_ns();
+  r.name = name_;
+  detail::current_span() = parent_;
+  Tracer::global().record(r);
+  if (latency_ != nullptr) latency_->record_always(r.end_ns - r.start_ns);
+}
+
+}  // namespace hgp::obs

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace hgp::obs {
+
+/// One finished span: a named, monotonic-clock-timed scope with a link to
+/// the span that was open on the same thread when it started (0 = root).
+/// `name` must be a string literal (the tracer stores the pointer only).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  const char* name = "";
+};
+
+/// Bounded lock-free ring of finished spans. Writers claim a slot with one
+/// relaxed fetch_add and overwrite whatever lives there, so the ring always
+/// holds the newest `capacity` records and overflow drops the oldest —
+/// recording never blocks and never allocates. Every slot cell is an atomic
+/// stamped with its sequence number, so concurrent snapshots are race-free:
+/// a slot whose stamp does not match before and after the payload read was
+/// mid-overwrite and is skipped.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// The process-wide ring every Span records into.
+  static Tracer& global();
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void record(const SpanRecord& r);
+
+  /// The retained records, oldest first. Slots being overwritten while the
+  /// snapshot runs are skipped, never torn.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans ever recorded, including those overflow has dropped.
+  std::uint64_t total_recorded() const { return seq_.load(std::memory_order_acquire); }
+  /// Records lost to overflow (total - retained).
+  std::uint64_t dropped() const {
+    const std::uint64_t total = total_recorded();
+    return total > slots_.size() ? total - slots_.size() : 0;
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Fresh span id (> 0; 0 means "no span").
+  std::uint64_t next_id() { return 1 + id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drop every retained record (callers quiesce writers first — tests and
+  /// benches only).
+  void clear();
+
+ private:
+  struct Slot {
+    /// seq + 1 of the resident record; 0 while empty or mid-write.
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> end_ns{0};
+    std::atomic<const char*> name{nullptr};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> seq_{0};  // total records ever pushed
+  std::atomic<std::uint64_t> id_{0};
+};
+
+namespace detail {
+/// The innermost open span on this thread (0 = none) — the parent link of
+/// the next Span constructed here.
+std::uint64_t& current_span();
+}  // namespace detail
+
+/// RAII run-lifecycle span: times its scope on the monotonic clock, parents
+/// itself under the enclosing Span on this thread, and records into the
+/// global Tracer's ring on destruction. Optionally feeds the elapsed time
+/// into a latency histogram. While telemetry is disabled, construction and
+/// destruction are near-no-ops (one flag load each, no clock reads).
+class Span {
+ public:
+  explicit Span(const char* name, Histogram* latency = nullptr) {
+    if (!enabled()) return;
+    name_ = name;
+    latency_ = latency;
+    std::uint64_t& cur = detail::current_span();
+    parent_ = cur;
+    id_ = Tracer::global().next_id();
+    cur = id_;
+    start_ = now_ns();
+    active_ = true;
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// This span's id (0 while telemetry is disabled).
+  std::uint64_t id() const { return active_ ? id_ : 0; }
+
+  /// End the span before scope exit (e.g. to time only the first phase of a
+  /// function); no-op when telemetry was disabled at construction, and the
+  /// destructor will not record again.
+  void finish();
+
+ private:
+  const char* name_ = "";
+  Histogram* latency_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hgp::obs

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hgp::opt {
 
@@ -22,6 +24,15 @@ std::vector<double> parameter_shift_gradient_batch(const BatchObjective& f,
                                                    const std::vector<double>& x,
                                                    double shift) {
   const std::size_t n = x.size();
+  // One span per stencil dispatch: the 2n-point batch handed to the
+  // evaluator, plus running totals of dispatches and points.
+  static obs::Counter& stencil_batches =
+      obs::Registry::global().counter("gradient.stencil_batches");
+  static obs::Counter& stencil_points =
+      obs::Registry::global().counter("gradient.stencil_points");
+  obs::Span span("gradient.stencil_batch");
+  stencil_batches.inc();
+  stencil_points.inc(2 * n);
   std::vector<std::vector<double>> points;
   points.reserve(2 * n);
   for (std::size_t i = 0; i < n; ++i) {

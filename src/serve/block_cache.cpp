@@ -36,6 +36,18 @@ BlockCache::StoreReport to_store_report(const BlockStore::LoadReport& r) {
 
 BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
   HGP_REQUIRE(capacity >= 1, "BlockCache: capacity must be positive");
+  // Registry handles resolve once here; the hot paths then pay only a
+  // gated sharded increment per mirror update.
+  obs::Registry& reg = obs::Registry::global();
+  reg_.gate_hits = &reg.counter("block_cache.gate_hits");
+  reg_.gate_misses = &reg.counter("block_cache.gate_misses");
+  reg_.pulse_hits = &reg.counter("block_cache.pulse_hits");
+  reg_.pulse_misses = &reg.counter("block_cache.pulse_misses");
+  reg_.evictions = &reg.counter("block_cache.evictions");
+  reg_.store_hits = &reg.counter("block_cache.store_hits");
+  reg_.store_misses = &reg.counter("block_cache.store_misses");
+  reg_.store_loaded = &reg.counter("block_cache.store_loaded");
+  reg_.size = &reg.gauge("block_cache.size");
 }
 
 BlockCache::~BlockCache() = default;
@@ -45,12 +57,30 @@ std::shared_ptr<const core::CompiledBlock> BlockCache::find(const std::string& k
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++(kind == BlockKind::Pulse ? pulse_misses_ : gate_misses_);
-    if (store_tracking_) ++store_misses_;
+    if (kind == BlockKind::Pulse) {
+      pulse_misses_.fetch_add(1, std::memory_order_relaxed);
+      reg_.pulse_misses->inc();
+    } else {
+      gate_misses_.fetch_add(1, std::memory_order_relaxed);
+      reg_.gate_misses->inc();
+    }
+    if (store_tracking_) {
+      store_misses_.fetch_add(1, std::memory_order_relaxed);
+      reg_.store_misses->inc();
+    }
     return nullptr;
   }
-  ++(kind == BlockKind::Pulse ? pulse_hits_ : gate_hits_);
-  if (it->second.from_store) ++store_hits_;
+  if (kind == BlockKind::Pulse) {
+    pulse_hits_.fetch_add(1, std::memory_order_relaxed);
+    reg_.pulse_hits->inc();
+  } else {
+    gate_hits_.fetch_add(1, std::memory_order_relaxed);
+    reg_.gate_hits->inc();
+  }
+  if (it->second.from_store) {
+    store_hits_.fetch_add(1, std::memory_order_relaxed);
+    reg_.store_hits->inc();
+  }
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.block;
 }
@@ -72,8 +102,10 @@ bool BlockCache::insert_locked(const std::string& key,
   while (map_.size() > capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    reg_.evictions->inc();
   }
+  reg_.size->set(static_cast<std::int64_t>(map_.size()));
   return true;
 }
 
@@ -132,7 +164,8 @@ BlockStore::LoadReport BlockCache::load_impl(const std::string& path,
       });
   const std::lock_guard<std::mutex> lock(mutex_);
   store_tracking_ = true;
-  store_loaded_ += r.loaded;
+  store_loaded_.fetch_add(r.loaded, std::memory_order_relaxed);
+  reg_.store_loaded->inc(r.loaded);
   return r;
 }
 
@@ -217,20 +250,25 @@ std::string BlockCache::store_path() const {
 }
 
 BlockCache::Stats BlockCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Counters are atomics: read lock-free so stats polling never contends
+  // with (or tears against) concurrent find()/insert() traffic. Only the
+  // map size needs the lock.
   Stats s;
-  s.gate_hits = gate_hits_;
-  s.gate_misses = gate_misses_;
-  s.pulse_hits = pulse_hits_;
-  s.pulse_misses = pulse_misses_;
-  s.hits = gate_hits_ + pulse_hits_;
-  s.misses = gate_misses_ + pulse_misses_;
-  s.evictions = evictions_;
-  s.store_hits = store_hits_;
-  s.store_misses = store_misses_;
-  s.store_loaded = store_loaded_;
-  s.size = map_.size();
+  s.gate_hits = gate_hits_.load(std::memory_order_relaxed);
+  s.gate_misses = gate_misses_.load(std::memory_order_relaxed);
+  s.pulse_hits = pulse_hits_.load(std::memory_order_relaxed);
+  s.pulse_misses = pulse_misses_.load(std::memory_order_relaxed);
+  s.hits = s.gate_hits + s.pulse_hits;
+  s.misses = s.gate_misses + s.pulse_misses;
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.store_misses = store_misses_.load(std::memory_order_relaxed);
+  s.store_loaded = store_loaded_.load(std::memory_order_relaxed);
   s.capacity = capacity_;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.size = map_.size();
+  }
   return s;
 }
 
@@ -238,6 +276,7 @@ void BlockCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
   lru_.clear();
+  reg_.size->set(0);
 }
 
 }  // namespace hgp::serve

@@ -8,7 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "core/compiled_block.hpp"
+#include "obs/metrics.hpp"
 #include "serve/block_kind.hpp"
 #include "serve/block_store.hpp"
 
@@ -130,6 +133,10 @@ class BlockCache {
   /// Path of the attached write-through store ("" when none).
   std::string store_path() const;
 
+  /// Torn-read-safe traffic snapshot: the counters are atomics read without
+  /// the cache lock (only size takes it), so polling stats from a monitor
+  /// thread while workers hammer find()/insert() is race-free. The snapshot
+  /// is not one consistent cut — counters advance independently.
   Stats stats() const;
   std::size_t capacity() const { return capacity_; }
   void clear();
@@ -158,14 +165,32 @@ class BlockCache {
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> map_;
   std::size_t capacity_;
-  std::uint64_t gate_hits_ = 0;
-  std::uint64_t gate_misses_ = 0;
-  std::uint64_t pulse_hits_ = 0;
-  std::uint64_t pulse_misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t store_hits_ = 0;
-  std::uint64_t store_misses_ = 0;
-  std::uint64_t store_loaded_ = 0;
+  /// Traffic counters are atomics, not lock-guarded ints: stats() snapshots
+  /// them without taking mutex_, so a monitoring thread polling a busy cache
+  /// never tears a read and never contends with the workers' lookups. Each
+  /// instance additionally mirrors its traffic into the process-wide
+  /// obs::Registry ("block_cache.*" series, gated on obs::enabled()).
+  std::atomic<std::uint64_t> gate_hits_{0};
+  std::atomic<std::uint64_t> gate_misses_{0};
+  std::atomic<std::uint64_t> pulse_hits_{0};
+  std::atomic<std::uint64_t> pulse_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> store_misses_{0};
+  std::atomic<std::uint64_t> store_loaded_{0};
+  /// Process-wide registry mirrors (shared by every cache instance).
+  struct RegistryMirror {
+    obs::Counter* gate_hits;
+    obs::Counter* gate_misses;
+    obs::Counter* pulse_hits;
+    obs::Counter* pulse_misses;
+    obs::Counter* evictions;
+    obs::Counter* store_hits;
+    obs::Counter* store_misses;
+    obs::Counter* store_loaded;
+    obs::Gauge* size;
+  };
+  RegistryMirror reg_;
   /// True once a store load was attempted (even an unsuccessful one) —
   /// misses after that point are compilations the store failed to avoid.
   bool store_tracking_ = false;

@@ -7,9 +7,21 @@ namespace hgp::serve {
 EvalService::EvalService(Options options)
     : cache_(std::make_shared<BlockCache>(options.cache_capacity)),
       block_store_path_(std::move(options.block_store_path)) {
+  obs::Registry& reg = obs::Registry::global();
+  metrics_.candidates_submitted = &reg.counter("service.candidates_submitted");
+  metrics_.jobs_submitted = &reg.counter("service.jobs_submitted");
+  metrics_.helping_steals = &reg.counter("service.helping_steals");
+  metrics_.worker_busy_ns = &reg.counter("service.worker_busy_ns");
+  metrics_.worker_idle_ns = &reg.counter("service.worker_idle_ns");
+  metrics_.queue_depth = &reg.gauge("service.queue_depth");
+  metrics_.workers = &reg.gauge("service.workers");
+  metrics_.candidate_wait_ns = &reg.histogram("service.candidate_wait_ns");
+  metrics_.job_wait_ns = &reg.histogram("service.job_wait_ns");
+
   const std::size_t n = options.num_workers != 0
                             ? options.num_workers
                             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  metrics_.workers->set(static_cast<std::int64_t>(n));
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -34,8 +46,13 @@ bool EvalService::run_one(std::unique_lock<std::mutex>& lock, bool jobs_too) {
   } else {
     return false;
   }
+  metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
   lock.unlock();
+  // Busy time accrues to whoever runs the task — worker or helping
+  // submitter — so busy+idle over the workers tracks pool utilization.
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
   task();
+  if (t0 != 0) metrics_.worker_busy_ns->inc(obs::now_ns() - t0);
   lock.lock();
   return true;
 }
@@ -43,7 +60,9 @@ bool EvalService::run_one(std::unique_lock<std::mutex>& lock, bool jobs_too) {
 void EvalService::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
     cv_.wait(lock, [&] { return stop_ || !candidates_.empty() || !jobs_.empty(); });
+    if (t0 != 0) metrics_.worker_idle_ns->inc(obs::now_ns() - t0);
     if (!run_one(lock, /*jobs_too=*/true) && stop_) return;
   }
 }
@@ -58,10 +77,12 @@ void EvalService::run(std::vector<std::function<void()>>& tasks) {
 
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
+  const std::uint64_t t_enq = obs::enabled() ? obs::now_ns() : 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::function<void()>& fn : tasks) {
-      candidates_.push_back([this, batch, fn = std::move(fn)] {
+      candidates_.push_back([this, batch, t_enq, fn = std::move(fn)] {
+        if (t_enq != 0) metrics_.candidate_wait_ns->record(obs::now_ns() - t_enq);
         try {
           fn();
         } catch (...) {
@@ -75,6 +96,8 @@ void EvalService::run(std::vector<std::function<void()>>& tasks) {
         cv_.notify_all();
       });
     }
+    metrics_.candidates_submitted->inc(tasks.size());
+    metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
   }
   cv_.notify_all();
 
@@ -83,7 +106,9 @@ void EvalService::run(std::vector<std::function<void()>>& tasks) {
   // so nested submission cannot deadlock.
   std::unique_lock<std::mutex> lock(mutex_);
   while (batch->remaining > 0) {
-    if (!run_one(lock, /*jobs_too=*/false))
+    if (run_one(lock, /*jobs_too=*/false))
+      metrics_.helping_steals->inc();
+    else
       cv_.wait(lock, [&] { return batch->remaining == 0 || !candidates_.empty(); });
   }
   if (batch->error) std::rethrow_exception(batch->error);

@@ -10,6 +10,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "optimize/batch.hpp"
 #include "serve/block_cache.hpp"
 
@@ -75,9 +77,17 @@ class EvalService : public opt::BatchDispatcher {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(job));
     std::future<R> future = task->get_future();
+    // Enqueue timestamp only when telemetry is live — the disabled path
+    // never touches the clock.
+    const std::uint64_t t_enq = obs::enabled() ? obs::now_ns() : 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      jobs_.push_back([task] { (*task)(); });
+      jobs_.push_back([this, task, t_enq] {
+        if (t_enq != 0) metrics_.job_wait_ns->record(obs::now_ns() - t_enq);
+        (*task)();
+      });
+      metrics_.jobs_submitted->inc();
+      metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
     }
     cv_.notify_all();
     return future;
@@ -95,6 +105,24 @@ class EvalService : public opt::BatchDispatcher {
   /// Pop one task under `lock` (candidates first, then jobs — jobs only when
   /// `jobs_too`), run it unlocked. False when both queues are empty.
   bool run_one(std::unique_lock<std::mutex>& lock, bool jobs_too);
+
+  /// Process-wide "service.*" series (resolved once at construction):
+  /// queue depth, candidate/job enqueue-to-dequeue wait, worker busy/idle
+  /// nanoseconds (utilization = busy / (busy + idle)), and helping steals
+  /// (candidates the submitting thread drained itself while waiting on its
+  /// own batch).
+  struct Metrics {
+    obs::Counter* candidates_submitted;
+    obs::Counter* jobs_submitted;
+    obs::Counter* helping_steals;
+    obs::Counter* worker_busy_ns;
+    obs::Counter* worker_idle_ns;
+    obs::Gauge* queue_depth;
+    obs::Gauge* workers;
+    obs::Histogram* candidate_wait_ns;
+    obs::Histogram* job_wait_ns;
+  };
+  Metrics metrics_;
 
   std::shared_ptr<BlockCache> cache_;
   std::string block_store_path_;

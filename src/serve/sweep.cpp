@@ -1,12 +1,17 @@
 #include "serve/sweep.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace hgp::serve {
 
 SweepRunner::SweepRunner(Options options)
     : service_(EvalService::Options{options.num_workers, options.cache_capacity,
-                                    std::move(options.block_store_path)}) {}
+                                    std::move(options.block_store_path)}) {
+  obs::Registry& reg = obs::Registry::global();
+  jobs_completed_ = &reg.counter("sweep.jobs_completed");
+  job_ns_ = &reg.histogram("sweep.job_ns");
+}
 
 std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
   HGP_REQUIRE(job.dev != nullptr, "SweepRunner: job '" + job.label + "' has no backend");
@@ -20,8 +25,13 @@ std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
   if (job.config.block_store_path.empty())
     job.config.block_store_path = service_.block_store_path();
   return service_.submit([this, job = std::move(job)] {
-    return core::run_qaoa(job.instance, *job.dev, job.kind, job.config, &service_,
-                          service_.block_cache());
+    // Per-job latency: the span lands in the run-lifecycle trace and the
+    // elapsed time in the sweep.job_ns histogram.
+    obs::Span span("sweep.job", job_ns_);
+    core::RunResult result = core::run_qaoa(job.instance, *job.dev, job.kind, job.config,
+                                            &service_, service_.block_cache());
+    jobs_completed_->inc();
+    return result;
   });
 }
 

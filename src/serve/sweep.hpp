@@ -57,10 +57,15 @@ class SweepRunner {
   std::vector<core::RunResult> run_all(std::vector<SweepJob> jobs);
 
   EvalService& service() { return service_; }
+  /// Thin adapter over the shared cache's registry-backed counters (the
+  /// "block_cache.*" series carries the same numbers process-wide).
   BlockCache::Stats cache_stats() const { return service_.cache_stats(); }
 
  private:
   EvalService service_;
+  /// "sweep.*" series: jobs completed and per-job wall-clock latency.
+  obs::Counter* jobs_completed_;
+  obs::Histogram* job_ns_;
 };
 
 }  // namespace hgp::serve

@@ -2,14 +2,16 @@
 """Bench-regression gate for the BENCH_*.json baselines.
 
 Compares the JSON files the bench smoke emits (BENCH_shotloop.json,
-BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json) against the
-committed baselines in bench/baselines/ and fails (exit 1) if:
+BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json, BENCH_obs.json)
+against the committed baselines in bench/baselines/ and fails (exit 1) if:
 
   * any current file is missing or unparsable,
   * any `bit_identical` flag is false (a determinism regression is a bug,
-    never a tolerance question), or
+    never a tolerance question),
   * a tracked speedup falls below its tolerance-scaled floor,
-    current < baseline * (1 - tol). Only dimensionless ratios are gated --
+    current < baseline * (1 - tol), or
+  * a tracked overhead ratio rises above its tolerance-scaled ceiling,
+    current > baseline * (1 + tol). Only dimensionless ratios are gated --
     absolute seconds vary with the host, ratios mostly do not.
 
 A markdown delta table goes to stdout and, when $GITHUB_STEP_SUMMARY is set,
@@ -39,7 +41,12 @@ SPEEDUP_FIELDS = {
     "BENCH_pulse.json": ["speedup", "ir_speedup"],
     "BENCH_gradient.json": ["expectation_speedup", "gradient_speedup"],
 }
-BENCH_FILES = sorted(SPEEDUP_FIELDS)
+# Ratio fields where *lower* is better (telemetry-on / telemetry-off run
+# time): gated against a ceiling instead of a floor.
+OVERHEAD_FIELDS = {
+    "BENCH_obs.json": ["overhead_ratio"],
+}
+BENCH_FILES = sorted(set(SPEEDUP_FIELDS) | set(OVERHEAD_FIELDS))
 
 
 def load(path):
@@ -92,7 +99,7 @@ def check_baselines(baseline_dir, current_dir, tol):
             if value is not True:
                 failures.append(f"{name}: {path} is {value} (determinism regression)")
 
-        for field in SPEEDUP_FIELDS[name]:
+        for field in SPEEDUP_FIELDS.get(name, []):
             base = baseline.get(field)
             cur = current.get(field)
             if not isinstance(base, (int, float)):
@@ -111,8 +118,28 @@ def check_baselines(baseline_dir, current_dir, tol):
                     f"{name}: {field} {cur:.2f}x fell below the floor "
                     f"{floor:.2f}x (baseline {base:.2f}x, tol {tol:.0%})")
 
+        for field in OVERHEAD_FIELDS.get(name, []):
+            base = baseline.get(field)
+            cur = current.get(field)
+            if not isinstance(base, (int, float)):
+                failures.append(f"{name}: baseline lacks numeric '{field}'")
+                continue
+            if not isinstance(cur, (int, float)):
+                failures.append(f"{name}: current lacks numeric '{field}'")
+                continue
+            ceiling = base * (1.0 + tol)
+            delta = (cur - base) / base * 100.0 if base else 0.0
+            status = "ok" if cur <= ceiling else "FAIL"
+            rows.append((name, field, f"{base:.3f}x", f"{cur:.3f}x",
+                         f"{delta:+.0f}%", status))
+            if cur > ceiling:
+                failures.append(
+                    f"{name}: {field} {cur:.3f}x rose above the ceiling "
+                    f"{ceiling:.3f}x (baseline {base:.3f}x, tol {tol:.0%})")
+
     lines = ["## Bench regression gate", "",
-             f"Tolerance: speedups may drop at most {tol:.0%} below baseline.", "",
+             f"Tolerance: speedups may drop at most {tol:.0%} below baseline; "
+             f"overheads may rise at most {tol:.0%} above baseline.", "",
              "| bench | field | baseline | current | delta | status |",
              "|---|---|---|---|---|---|"]
     for bench, field, base, cur, delta, status in rows:
