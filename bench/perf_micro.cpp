@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/executor.hpp"
+#include "core/fusion.hpp"
 #include "core/qaoa.hpp"
 #include "graph/instances.hpp"
 #include "linalg/eig.hpp"
@@ -90,6 +91,92 @@ static void BM_KernelCxPermutation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KernelCxPermutation)->Arg(12)->Arg(16);
+
+// ---- width-3 fusion kernels ------------------------------------------------
+//
+// The fusion pass's currency is the dense 3-qubit block: a run of 1q/2q
+// gates composed into one 8x8. The first pair measures the dense 3q apply
+// itself, scalar vs lane-batched per-lane (the delta-compile batch path);
+// the second pair measures a fused run against applying its constituent
+// sequence gate by gate — the per-shot win the pass buys.
+
+namespace {
+
+/// An 8-gate dense run on qubits {0,1,2}: the RZZ/RX alternation a QAOA
+/// layer produces, composed with the fusion pass's own composition.
+std::vector<std::pair<la::CMat, std::vector<std::size_t>>> fused_run_parts(double theta) {
+  std::vector<std::pair<la::CMat, std::vector<std::size_t>>> parts;
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RZZ, {theta}), std::vector<std::size_t>{0, 1});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RX, {0.5 * theta}), std::vector<std::size_t>{0});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RZZ, {1.3 * theta}), std::vector<std::size_t>{1, 2});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RX, {0.7 * theta}), std::vector<std::size_t>{1});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::CX), std::vector<std::size_t>{0, 2});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RZ, {0.9 * theta}), std::vector<std::size_t>{2});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RZZ, {0.4 * theta}), std::vector<std::size_t>{0, 1});
+  parts.emplace_back(qc::gate_matrix(qc::GateKind::RX, {1.1 * theta}), std::vector<std::size_t>{2});
+  return parts;
+}
+
+la::CMat dense_3q_unitary(double theta) {
+  const auto parts = fused_run_parts(theta);
+  std::vector<core::FusePartView> views(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    views[i] = core::FusePartView{&parts[i].first, &parts[i].second};
+  return core::compose_fused(views.data(), views.size(), {0, 1, 2});
+}
+
+}  // namespace
+
+static void BM_Kernel3qDenseScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const la::CMat u = dense_3q_unitary(0.37);
+  std::vector<sim::Statevector> svs(lanes, sim::Statevector(n));
+  for (auto _ : state) {
+    for (auto& sv : svs) sv.apply_matrix(u, {0, 1, 2});
+    benchmark::DoNotOptimize(svs[0].data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_Kernel3qDenseScalar)->Args({12, 16});
+
+static void BM_Kernel3qDenseBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  std::vector<la::CMat> us;
+  us.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    us.push_back(dense_3q_unitary(0.37 + 0.01 * static_cast<double>(l)));
+  sim::BatchedStatevector bsv(n, lanes);
+  for (auto _ : state) {
+    bsv.apply_matrix_per_lane(us, {0, 1, 2});
+    benchmark::DoNotOptimize(&bsv);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_Kernel3qDenseBatched)->Args({12, 16});
+
+static void BM_KernelUnfusedSequence(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const auto parts = fused_run_parts(0.37);
+  for (auto _ : state) {
+    for (const auto& [u, qubits] : parts) sv.apply_matrix(u, qubits);
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelUnfusedSequence)->Arg(12)->Arg(16);
+
+static void BM_KernelFusedRun(benchmark::State& state) {
+  sim::Statevector sv(static_cast<std::size_t>(state.range(0)));
+  const la::CMat u = dense_3q_unitary(0.37);
+  for (auto _ : state) {
+    sv.apply_matrix(u, {0, 1, 2});
+    benchmark::DoNotOptimize(sv.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelFusedRun)->Arg(12)->Arg(16);
 
 // ---- lane-batched kernels vs a per-shot scalar loop ------------------------
 //

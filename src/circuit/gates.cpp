@@ -64,6 +64,24 @@ GateKind gate_inverse_kind(GateKind k) {
   }
 }
 
+bool gate_is_diagonal(GateKind k) {
+  switch (k) {
+    case GateKind::I:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::P:
+    case GateKind::RZ:
+    case GateKind::RZZ:
+    case GateKind::CZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
 bool gate_is_self_inverse(GateKind k) {
   switch (k) {
     case GateKind::I:

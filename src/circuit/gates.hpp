@@ -48,6 +48,11 @@ const std::string& gate_name(GateKind k);
 GateKind gate_inverse_kind(GateKind k);
 /// True for X, H, CX, CZ, SWAP, Z, Y, I.
 bool gate_is_self_inverse(GateKind k);
+/// True when the gate's matrix is diagonal in the computational basis for
+/// every parameter value (Z-frame rotations and phases: I, Z, S/Sdg, T/Tdg,
+/// P, RZ, RZZ, CZ). Shared by the transpiler's diagonal-commutation scans
+/// and the executor's virtual-gate classification so the two never drift.
+bool gate_is_diagonal(GateKind k);
 
 /// Dense unitary for the gate with bound parameter values. Two-qubit matrices
 /// are in little-endian order: for qubits (q0, q1) = (control, target) of CX

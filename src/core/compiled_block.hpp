@@ -24,6 +24,14 @@ struct CompiledBlock {
   bool virtual_only = false;         // exact & free (RZ etc.)
   bool explicit_idle = false;        // Delay: relaxation + coherent drift
 
+  /// Transient identity of this block under the executor's cache keying —
+  /// the suffix of its BlockCache key (no backend-fingerprint prefix).
+  /// Stamped by the compile pipeline so the fusion pass can derive cache
+  /// keys for merged blocks by concatenation. NOT serialized: a store
+  /// round-trip leaves it empty, and the executor re-stamps it on every
+  /// cache hit.
+  std::string structure_key;
+
   /// Append the block to `out` in the store's binary encoding. The unitary
   /// round-trips by IEEE-754 bit pattern, so a deserialized block reproduces
   /// bit-identical counts.

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "core/fusion.hpp"
 #include "mitigation/cvar.hpp"
 #include "noise/channels.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +37,9 @@ struct ExecMetrics {
   obs::Counter& pauli_charges;
   obs::Counter& blocks_compiled;
   obs::Counter& expectation_batches;
+  obs::Counter& fusion_blocks_in;
+  obs::Counter& fusion_blocks_out;
+  obs::Counter& fusion_runs;
   obs::Gauge& trajectory_shots_per_s;
   obs::Gauge& lane_groups_per_s;
   obs::Histogram& run_ns;
@@ -44,6 +48,10 @@ struct ExecMetrics {
   obs::Histogram& lane_evolve_ns;
   obs::Histogram& sample_ns;
   obs::Histogram& aggregate_ns;
+  /// Lengths of the merged runs (constituents per fused slot, >= 2 only);
+  /// explicit bounds because run lengths live far below the default
+  /// log-spaced nanosecond buckets.
+  obs::Histogram& fusion_run_len;
 
   static ExecMetrics& get() {
     static ExecMetrics m = [] {
@@ -55,6 +63,9 @@ struct ExecMetrics {
                          reg.counter("executor.pauli_charges"),
                          reg.counter("executor.blocks_compiled"),
                          reg.counter("executor.expectation_batches"),
+                         reg.counter("executor.fusion.blocks_in"),
+                         reg.counter("executor.fusion.blocks_out"),
+                         reg.counter("executor.fusion.runs"),
                          reg.gauge("executor.trajectory_shots_per_s"),
                          reg.gauge("executor.lane_groups_per_s"),
                          reg.histogram("executor.run_ns"),
@@ -62,7 +73,9 @@ struct ExecMetrics {
                          reg.histogram("executor.block_compile_ns"),
                          reg.histogram("executor.lane_evolve_ns"),
                          reg.histogram("executor.sample_ns"),
-                         reg.histogram("executor.aggregate_ns")};
+                         reg.histogram("executor.aggregate_ns"),
+                         reg.histogram("executor.fusion.run_len",
+                                       {1, 2, 3, 4, 6, 8, 12, 16})};
     }();
     return m;
   }
@@ -74,20 +87,35 @@ struct ExecMetrics {
 /// many workers run or how the OS schedules them.
 constexpr std::size_t kShotsPerBatch = 256;
 
+/// Virtual gates are the single-qubit diagonals — realized as Z-frame
+/// updates, zero duration, no pulse. Same diagonal vocabulary as the
+/// transpiler's commutation scans (qc::gate_is_diagonal); the 2q diagonals
+/// (CZ, RZZ) are excluded because they do cost a cross-resonance pulse.
 bool is_virtual_gate(qc::GateKind k) {
-  switch (k) {
-    case qc::GateKind::I:
-    case qc::GateKind::RZ:
-    case qc::GateKind::Z:
-    case qc::GateKind::S:
-    case qc::GateKind::Sdg:
-    case qc::GateKind::T:
-    case qc::GateKind::Tdg:
-    case qc::GateKind::P:
-      return true;
-    default:
-      return false;
+  return qc::gate_is_diagonal(k) && qc::gate_arity(k) == 1;
+}
+
+/// Run the post-compile fusion pass for a deterministic-unitary engine path
+/// and record its telemetry. A disabled width (0/1) still routes through
+/// fuse_program's pass-through mode so the engines walk one code path, but
+/// charges no fusion metrics.
+FusionResult fuse_for_engine(const CompiledProgram& cp, std::size_t max_qubits,
+                             serve::BlockCache* cache, const std::string& key_prefix,
+                             std::uint64_t fingerprint) {
+  FusionOptions opt;
+  opt.max_qubits = std::min<std::size_t>(max_qubits, 3);
+  const bool enabled = opt.max_qubits >= 2;
+  FusionResult fr =
+      fuse_program(cp, opt, enabled ? cache : nullptr, key_prefix, fingerprint);
+  if (enabled) {
+    ExecMetrics& em = ExecMetrics::get();
+    em.fusion_blocks_in.inc(fr.stats.ops_in);
+    em.fusion_blocks_out.inc(fr.stats.ops_out);
+    em.fusion_runs.inc(fr.stats.merged_runs);
+    for (const FusedSlot& s : fr.slots)
+      if (s.sources.size() >= 2) em.fusion_run_len.record(s.sources.size());
   }
+  return fr;
 }
 
 /// Single source of truth for the schedule-derived block bookkeeping shared
@@ -432,6 +460,16 @@ CompiledBlock Executor::compile_gate(const qc::Op& op) {
     block.qubits = op.qubits;
     block.unitary = qc::gate_matrix(op.kind, op.constant_params());
     block.virtual_only = true;
+    // Virtual blocks are never cached (building the 2x2 diagonal is cheaper
+    // than a lookup), but they still need an identity for the fusion pass's
+    // composed-key construction — same format as the cached gate keys, with
+    // the exact hexfloat parameter rendering.
+    std::ostringstream key;
+    key << qc::gate_name(op.kind);
+    for (std::size_t q : op.qubits) key << "," << q;
+    for (double p : op.constant_params())
+      key << ",p=" << std::hexfloat << p << std::defaultfloat;
+    block.structure_key = key.str();
     return block;
   }
   if (op.kind == qc::GateKind::Delay) {
@@ -442,6 +480,9 @@ CompiledBlock Executor::compile_gate(const qc::Op& op) {
     block.unitary = la::CMat::identity(2);
     block.duration_dt = static_cast<int>(op.params[0].value());
     block.explicit_idle = true;
+    std::ostringstream key;
+    key << "delay," << op.qubits[0] << ",dur=" << block.duration_dt;
+    block.structure_key = key.str();
     return block;
   }
 
@@ -495,7 +536,12 @@ CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
                                              const la::CMat* exact_unitary,
                                              bool fold_cx_phase_defect) {
   const std::string cache_key = key_prefix_ + structure_key;
-  if (const auto cached = cache_->find(cache_key, kind)) return *cached;
+  if (const auto cached = cache_->find(cache_key, kind)) {
+    CompiledBlock block = *cached;
+    // Transient, not serialized: store-loaded entries come back without it.
+    block.structure_key = structure_key;
+    return block;
+  }
 
   // A miss means a real compile (pulse-ODE simulation for coherent blocks):
   // span it so the trace separates compile time from cache-hit replay. Hit
@@ -520,6 +566,7 @@ CompiledBlock Executor::lower_schedule_block(const std::string& structure_key,
     }
   }
   cache_->insert(cache_key, block, kind, dev_.fingerprint());
+  block.structure_key = structure_key;
   return block;
 }
 
@@ -568,6 +615,7 @@ CompiledProgram Executor::compile_program(const Program& program,
       if (pending_virtual[lq] >= 0) {
         CompiledBlock& pending = cp.timeline[pending_virtual[lq]].block;
         pending.unitary = s.block.unitary * pending.unitary;
+        pending.structure_key += "|" + s.block.structure_key;
         cp.op_slot[oi] = pending_virtual[lq];
         continue;
       }
@@ -1023,9 +1071,19 @@ sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   obs::Span compile_span("executor.compile", &em.compile_ns);
   const CompiledProgram cp = compile_program(program, density ? 10 : 14);
   compile_span.finish();
-  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
+  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size(),
+                            cp.timeline.size()};
 
-  if (!noisy) return run_noiseless(cp, shots, rng);
+  if (!noisy) {
+    // Deterministic-unitary path: fuse the timeline into fewer, bigger
+    // kernels. Noisy engines below keep the unfused timeline — fusion would
+    // change the FP rounding of the amplitudes feeding every branch
+    // probability, and with it the RNG consumption pattern.
+    const FusionResult fr = fuse_for_engine(cp, options_.fusion_max_qubits, cache_.get(),
+                                            key_prefix_, dev_.fingerprint());
+    report_.fused_block_count = fr.program.timeline.size();
+    return run_noiseless(fr.program, shots, rng);
+  }
   if (density) return run_exact_density(cp, shots, rng);
   return run_trajectories(cp, shots, rng);
 }
@@ -1048,7 +1106,8 @@ double Executor::run_expectation(const Program& program, std::size_t shots, Rng&
   obs::Span compile_span("executor.compile", &em.compile_ns);
   const CompiledProgram cp = compile_program(program, density ? 10 : 14);
   compile_span.finish();
-  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size()};
+  report_ = ExecutionReport{cp.makespan_dt, dev_.readout_duration_dt(), cp.timeline.size(),
+                            cp.timeline.size()};
 
   // Tabulate the diagonal observable once over the 2^m measured outcomes,
   // keyed exactly like run()'s counts.
@@ -1072,9 +1131,14 @@ double Executor::run_expectation(const Program& program, std::size_t shots, Rng&
   const std::size_t dim = std::size_t{1} << cp.touched.size();
   if (!noisy) {
     // One deterministic evolve, one exact reduction — shots and rng are
-    // untouched, and there is no sampling noise at all.
+    // untouched, and there is no sampling noise at all. Fused, like run()'s
+    // noiseless branch: the evolve is a pure unitary product.
+    const FusionResult fr = fuse_for_engine(cp, options_.fusion_max_qubits, cache_.get(),
+                                            key_prefix_, dev_.fingerprint());
+    report_.fused_block_count = fr.program.timeline.size();
     sim::Statevector sv(cp.touched.size());
-    for (const Scheduled& s : cp.timeline) sv.apply_matrix(s.block.unitary, s.local);
+    for (const Scheduled& s : fr.program.timeline)
+      sv.apply_matrix(s.block.unitary, s.local);
     if (spec.kind == ObjectiveKind::Expectation) {
       std::vector<double> lvt(dim);
       for (std::uint64_t i = 0; i < dim; ++i) lvt[i] = vt[map_bits(i, cp)];
@@ -1247,6 +1311,9 @@ std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& 
 
   // lane_us[s] empty => every lane shares candidate 0's unitary (broadcast).
   std::vector<std::vector<la::CMat>> lane_us(steps);
+  // lane_dirty[s][l]: lane l's slot-s unitary was recompiled (differs from
+  // candidate 0's). Drives the per-lane recompose of fused slots below.
+  std::vector<std::vector<bool>> lane_dirty(steps);
   for (std::size_t l = 1; l < B; ++l) {
     const Program& pl = programs[l];
     HGP_REQUIRE(pl.measure_qubits == p0.measure_qubits && pl.ops.size() == p0.ops.size(),
@@ -1263,7 +1330,11 @@ std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& 
           break;
         }
       if (!dirty) continue;
-      if (lane_us[s].empty()) lane_us[s].assign(B, c0.timeline[s].block.unitary);
+      if (lane_us[s].empty()) {
+        lane_us[s].assign(B, c0.timeline[s].block.unitary);
+        lane_dirty[s].assign(B, false);
+      }
+      lane_dirty[s][l] = true;
       // Recompute the slot's (possibly folded) unitary in compile_program's
       // exact multiply order, so the lane stays bit-identical to a scalar
       // compile of this candidate.
@@ -1273,17 +1344,55 @@ std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& 
       lane_us[s][l] = std::move(u);
     }
   }
-  report_ = ExecutionReport{c0.makespan_dt, dev_.readout_duration_dt(), steps};
+  report_ = ExecutionReport{c0.makespan_dt, dev_.readout_duration_dt(), steps, steps};
+
+  // Fuse candidate 0's timeline, then route the delta-compiled lanes through
+  // the fused slots: a fused slot whose constituents are clean on every lane
+  // applies once broadcast; a slot with dirty lanes re-composes exactly those
+  // lanes' unitaries with compose_fused — the same composition fuse_program
+  // performs — so each lane stays bit-identical to a scalar fused run of
+  // that candidate.
+  const FusionResult fr = fuse_for_engine(c0, options_.fusion_max_qubits, cache_.get(),
+                                          key_prefix_, dev_.fingerprint());
+  const std::size_t fused_steps = fr.program.timeline.size();
+  report_.fused_block_count = fused_steps;
+  std::vector<std::vector<la::CMat>> fused_us(fused_steps);
+  for (std::size_t g = 0; g < fused_steps; ++g) {
+    const std::vector<std::size_t>& srcs = fr.slots[g].sources;
+    if (srcs.size() == 1) {
+      fused_us[g] = std::move(lane_us[srcs[0]]);
+      continue;
+    }
+    const bool any_varied = std::any_of(srcs.begin(), srcs.end(), [&](std::size_t src) {
+      return !lane_us[src].empty();
+    });
+    if (!any_varied) continue;  // broadcast the fused unitary
+    fused_us[g].assign(B, fr.program.timeline[g].block.unitary);
+    std::vector<FusePartView> parts(srcs.size());
+    for (std::size_t l = 1; l < B; ++l) {
+      const bool lane_varied = std::any_of(srcs.begin(), srcs.end(), [&](std::size_t src) {
+        return !lane_dirty[src].empty() && lane_dirty[src][l];
+      });
+      if (!lane_varied) continue;
+      for (std::size_t i = 0; i < srcs.size(); ++i) {
+        const std::size_t src = srcs[i];
+        parts[i].u = lane_us[src].empty() ? &c0.timeline[src].block.unitary
+                                          : &lane_us[src][l];
+        parts[i].local = &c0.timeline[src].local;
+      }
+      fused_us[g][l] = compose_fused(parts.data(), parts.size(), fr.program.timeline[g].local);
+    }
+  }
 
   // One lane-batched evolve for all candidates: blocks whose unitaries agree
   // across every lane (the unparameterized majority) apply once broadcast;
   // parameterized blocks take the per-lane kernels.
   sim::BatchedStatevector bsv(c0.touched.size(), B);
-  for (std::size_t s = 0; s < steps; ++s) {
-    if (lane_us[s].empty())
-      bsv.apply_matrix(c0.timeline[s].block.unitary, c0.timeline[s].local);
+  for (std::size_t s = 0; s < fused_steps; ++s) {
+    if (fused_us[s].empty())
+      bsv.apply_matrix(fr.program.timeline[s].block.unitary, fr.program.timeline[s].local);
     else
-      bsv.apply_matrix_per_lane(lane_us[s], c0.timeline[s].local);
+      bsv.apply_matrix_per_lane(fused_us[s], fr.program.timeline[s].local);
   }
 
   const std::size_t mdim = std::size_t{1} << c0.measure_local.size();

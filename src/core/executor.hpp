@@ -106,6 +106,17 @@ struct ExecutorOptions {
   /// compilation — never an error. On a shared cache the first attach wins;
   /// later executors reuse the already-attached store.
   std::string block_store_path;
+  /// Widest support of the post-compile timeline fusion pass (core/fusion):
+  /// adjacent blocks merge into single dense unitaries up to this many
+  /// qubits, so the engines dispatch fewer, bigger kernels. 2 (default)
+  /// fuses 1q runs and 1q-into-2q neighborhoods; 3 additionally fuses 2q
+  /// neighborhoods through the dense 3q kernels; 0 or 1 disables the pass,
+  /// and values above 3 clamp to 3 (no wider kernel exists). Fusion only
+  /// ever applies to deterministic-unitary paths — noiseless run(),
+  /// noiseless run_expectation(), and run_expectation_batch(); noisy runs
+  /// keep the unfused timeline so every noise event and RNG draw stays at
+  /// its original position, bit for bit.
+  std::size_t fusion_max_qubits = 2;
 };
 
 /// Timing/duration report of one executed program.
@@ -113,6 +124,9 @@ struct ExecutionReport {
   int makespan_dt = 0;
   int readout_dt = 0;
   std::size_t block_count = 0;
+  /// Timeline length the engines actually walked after fusion (equal to
+  /// block_count when the pass was disabled or did not apply).
+  std::size_t fused_block_count = 0;
 };
 
 /// One block placed on the ASAP timeline in local qubit coordinates.

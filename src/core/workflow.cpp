@@ -48,6 +48,7 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   eopt.engine = engine_from_name(config.engine);
   eopt.num_threads = config.executor_threads;
   eopt.shot_batch_lanes = config.shot_batch_lanes;
+  eopt.fusion_max_qubits = config.fusion;
   // Every executor of this run (driver + per-candidate) compiles into one
   // cache: across optimizer iterations only the parameter-bearing blocks
   // recompile. A service-injected cache extends the sharing to every

@@ -55,6 +55,12 @@ struct RunConfig {
   /// Lockstep lanes of the batched trajectory engine (0/1 = scalar per-shot
   /// loop). Counts are bit-identical for every value.
   std::size_t shot_batch_lanes = core::kDefaultShotBatchLanes;
+  /// Widest support of the post-compile timeline fusion pass (see
+  /// ExecutorOptions::fusion_max_qubits): 2 fuses 1q runs and 1q-into-2q
+  /// neighborhoods, 3 also fuses 2q neighborhoods through the dense 3q
+  /// kernels, 0/1 disables. Only affects deterministic-unitary paths; noisy
+  /// engines always run the unfused timeline.
+  std::size_t fusion = 2;
   /// Non-empty = persistent compiled-block store (see
   /// ExecutorOptions::block_store_path): the run warm-starts from blocks
   /// another process compiled for the same calibration and persists its own.

@@ -37,13 +37,17 @@ namespace hgp::serve {
 class BlockCache {
  public:
   struct Stats {
-    std::uint64_t hits = 0;    // total = gate + pulse
-    std::uint64_t misses = 0;  // total = gate + pulse
+    std::uint64_t hits = 0;    // total = gate + pulse + fused
+    std::uint64_t misses = 0;  // total = gate + pulse + fused
     std::uint64_t evictions = 0;
     std::uint64_t gate_hits = 0;
     std::uint64_t gate_misses = 0;
     std::uint64_t pulse_hits = 0;
     std::uint64_t pulse_misses = 0;
+    /// Fused-block traffic from the timeline fusion pass: hits skip the
+    /// composition matmuls entirely.
+    std::uint64_t fused_hits = 0;
+    std::uint64_t fused_misses = 0;
     /// Hits served by an entry that came off disk rather than an in-process
     /// compilation (subset of `hits`).
     std::uint64_t store_hits = 0;
@@ -63,6 +67,10 @@ class BlockCache {
     double pulse_hit_rate() const {
       const std::uint64_t total = pulse_hits + pulse_misses;
       return total == 0 ? 0.0 : static_cast<double>(pulse_hits) / static_cast<double>(total);
+    }
+    double fused_hit_rate() const {
+      const std::uint64_t total = fused_hits + fused_misses;
+      return total == 0 ? 0.0 : static_cast<double>(fused_hits) / static_cast<double>(total);
     }
     double store_hit_rate() const {
       const std::uint64_t total = store_hits + store_misses;
@@ -174,6 +182,8 @@ class BlockCache {
   std::atomic<std::uint64_t> gate_misses_{0};
   std::atomic<std::uint64_t> pulse_hits_{0};
   std::atomic<std::uint64_t> pulse_misses_{0};
+  std::atomic<std::uint64_t> fused_hits_{0};
+  std::atomic<std::uint64_t> fused_misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> store_hits_{0};
   std::atomic<std::uint64_t> store_misses_{0};
@@ -184,6 +194,8 @@ class BlockCache {
     obs::Counter* gate_misses;
     obs::Counter* pulse_hits;
     obs::Counter* pulse_misses;
+    obs::Counter* fused_hits;
+    obs::Counter* fused_misses;
     obs::Counter* evictions;
     obs::Counter* store_hits;
     obs::Counter* store_misses;

@@ -28,8 +28,8 @@ BatchedStatevector::BatchedStatevector(std::size_t num_qubits, std::size_t lanes
   re_.assign(dim_ * lanes_, 0.0);
   im_.assign(dim_ * lanes_, 0.0);
   for (std::size_t l = 0; l < lanes_; ++l) re_[l] = 1.0;
-  scratch_re_.resize(4 * lanes_);
-  scratch_im_.resize(4 * lanes_);
+  scratch_re_.resize(8 * lanes_);
+  scratch_im_.resize(8 * lanes_);
   acc_.resize(lanes_);
   done_.resize(lanes_);
 }
@@ -204,6 +204,62 @@ void BatchedStatevector::apply_matrix(const CMat& u,
           const double p3i = ur[r][3] * si[3 * L + l] + ui[r][3] * sr[3 * L + l];
           outr[l] = ((p0r + p1r) + p2r) + p3r;
           outm[l] = ((p0i + p1i) + p2i) + p3i;
+        }
+      }
+    });
+    return;
+  }
+
+  if (k == 3) {
+    // Dense 3q kernel for width-3 fused blocks: same dispatch as the scalar
+    // backend, lane-major unit-stride inner loops, and the generic path's
+    // summation order (products rounded first, accumulated in s order).
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    const std::uint64_t b2 = std::uint64_t{1} << qubits[2];
+    std::uint64_t offset[8];
+    for (std::size_t s = 0; s < 8; ++s)
+      offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0) | ((s & 4) ? b2 : 0);
+
+    if (detail::is_diagonal_n(u)) {
+      cxd d[8];
+      for (std::size_t s = 0; s < 8; ++s) d[s] = u(s, s);
+      detail::for_each_oct_base(dim_, b0, b1, b2, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 8; ++s)
+          mul_row(&re_[(i | offset[s]) * L], &im_[(i | offset[s]) * L], L, d[s].real(),
+                  d[s].imag());
+      });
+      return;
+    }
+
+    std::vector<double>& sr = scratch_re_;
+    std::vector<double>& si = scratch_im_;
+    detail::for_each_oct_base(dim_, b0, b1, b2, [&](std::uint64_t i) {
+      for (std::size_t s = 0; s < 8; ++s) {
+        const double* __restrict__ r = &re_[(i | offset[s]) * L];
+        const double* __restrict__ m = &im_[(i | offset[s]) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          sr[s * L + l] = r[l];
+          si[s * L + l] = m[l];
+        }
+      }
+      for (std::size_t r = 0; r < 8; ++r) {
+        double* __restrict__ outr = &re_[(i | offset[r]) * L];
+        double* __restrict__ outm = &im_[(i | offset[r]) * L];
+        for (std::size_t l = 0; l < L; ++l) {
+          outr[l] = 0.0;
+          outm[l] = 0.0;
+        }
+        for (std::size_t s = 0; s < 8; ++s) {
+          const double cr = u(r, s).real(), ci = u(r, s).imag();
+          const double* __restrict__ ar = &sr[s * L];
+          const double* __restrict__ ai = &si[s * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            const double pr = cr * ar[l] - ci * ai[l];
+            const double pi = cr * ai[l] + ci * ar[l];
+            outr[l] += pr;
+            outm[l] += pi;
+          }
         }
       }
     });
@@ -595,6 +651,97 @@ void BatchedStatevector::apply_matrix_per_lane(const std::vector<CMat>& us,
     }
   }
 
+  if (k == 3) {
+    bool all_diag = true;
+    for (const CMat& u : us)
+      if (!detail::is_diagonal_n(u)) all_diag = false;
+    if (all_diag) {
+      // Width-3 fused diagonal chains with per-lane parameters: eight
+      // per-lane phase rows, one oct-base sweep.
+      const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+      const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+      const std::uint64_t b2 = std::uint64_t{1} << qubits[2];
+      std::uint64_t offset[8];
+      for (std::size_t s = 0; s < 8; ++s)
+        offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0) | ((s & 4) ? b2 : 0);
+      for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t s = 0; s < 8; ++s) {
+          scratch_re_[s * L + l] = us[l](s, s).real();
+          scratch_im_[s * L + l] = us[l](s, s).imag();
+        }
+      detail::for_each_oct_base(dim_, b0, b1, b2, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 8; ++s) {
+          const double* __restrict__ dr = &scratch_re_[s * L];
+          const double* __restrict__ di = &scratch_im_[s * L];
+          double* __restrict__ r = &re_[(i | offset[s]) * L];
+          double* __restrict__ m = &im_[(i | offset[s]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            const double ar = r[l], ai = m[l];
+            r[l] = dr[l] * ar - di[l] * ai;
+            m[l] = dr[l] * ai + di[l] * ar;
+          }
+        }
+      });
+      return;
+    }
+
+    bool any_diag = false;
+    for (const CMat& u : us)
+      if (detail::is_diagonal_n(u)) any_diag = true;
+    if (!any_diag) {
+      // All-dense width-3 fused blocks with per-lane parameters: per-lane
+      // 8x8 coefficient rows, gather scratch, and the broadcast dense
+      // kernel's product/association order per lane (products rounded
+      // first, summed in ascending s).
+      const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+      const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+      const std::uint64_t b2 = std::uint64_t{1} << qubits[2];
+      std::uint64_t offset[8];
+      for (std::size_t s = 0; s < 8; ++s)
+        offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0) | ((s & 4) ? b2 : 0);
+      std::vector<double> cr(64 * L), ci(64 * L);
+      for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t r = 0; r < 8; ++r)
+          for (std::size_t c = 0; c < 8; ++c) {
+            cr[(r * 8 + c) * L + l] = us[l](r, c).real();
+            ci[(r * 8 + c) * L + l] = us[l](r, c).imag();
+          }
+      std::vector<double>& sr = scratch_re_;
+      std::vector<double>& si = scratch_im_;
+      detail::for_each_oct_base(dim_, b0, b1, b2, [&](std::uint64_t i) {
+        for (std::size_t s = 0; s < 8; ++s) {
+          const double* __restrict__ r = &re_[(i | offset[s]) * L];
+          const double* __restrict__ m = &im_[(i | offset[s]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            sr[s * L + l] = r[l];
+            si[s * L + l] = m[l];
+          }
+        }
+        for (std::size_t r = 0; r < 8; ++r) {
+          double* __restrict__ outr = &re_[(i | offset[r]) * L];
+          double* __restrict__ outm = &im_[(i | offset[r]) * L];
+          for (std::size_t l = 0; l < L; ++l) {
+            outr[l] = 0.0;
+            outm[l] = 0.0;
+          }
+          for (std::size_t s = 0; s < 8; ++s) {
+            const double* __restrict__ ur = &cr[(r * 8 + s) * L];
+            const double* __restrict__ ui = &ci[(r * 8 + s) * L];
+            const double* __restrict__ ar = &sr[s * L];
+            const double* __restrict__ ai = &si[s * L];
+            for (std::size_t l = 0; l < L; ++l) {
+              const double pr = ur[l] * ar[l] - ui[l] * ai[l];
+              const double pi = ur[l] * ai[l] + ui[l] * ar[l];
+              outr[l] += pr;
+              outm[l] += pi;
+            }
+          }
+        }
+      });
+      return;
+    }
+  }
+
   // Mixed structure, permutation, or k > 2: per-lane strided applies with
   // the scalar dispatch.
   for (std::size_t l = 0; l < L; ++l) apply_matrix_one_lane(us[l], qubits, l);
@@ -651,6 +798,21 @@ void BatchedStatevector::apply_matrix_one_lane(const CMat& u,
       put(i2, u(2, 0) * a0 + u(2, 1) * a1 + u(2, 2) * a2 + u(2, 3) * a3);
       put(i3, u(3, 0) * a0 + u(3, 1) * a1 + u(3, 2) * a2 + u(3, 3) * a3);
     });
+    return;
+  }
+
+  if (k == 3 && detail::is_diagonal_n(u)) {
+    // Mirror of the scalar backend's diagonal-8 fast path, one lane's stride.
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    const std::uint64_t b2 = std::uint64_t{1} << qubits[2];
+    cxd d[8];
+    for (std::size_t s = 0; s < 8; ++s) d[s] = u(s, s);
+    for (std::uint64_t i = 0; i < dim_; ++i) {
+      const std::size_t sub =
+          ((i & b0) ? 1u : 0u) | ((i & b1) ? 2u : 0u) | ((i & b2) ? 4u : 0u);
+      put(i, at(i) * d[sub]);
+    }
     return;
   }
 

@@ -136,7 +136,7 @@ class BatchedStatevector {
   std::size_t dim_ = 0;
   std::size_t lanes_ = 0;
   std::vector<double> re_, im_;
-  // Gather scratch of the 2q kernels (4 rows x lanes) and sampling scratch,
+  // Gather scratch of the 2q/3q kernels (8 rows x lanes) and sampling scratch,
   // allocated once so the hot loop never touches the allocator. Instances
   // are used from one thread at a time (the engine keeps one per worker), so
   // mutable scratch in const sampling methods is safe.

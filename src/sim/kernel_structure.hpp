@@ -35,6 +35,19 @@ inline void for_each_quad_base(std::uint64_t size, std::uint64_t b0, std::uint64
       for (std::uint64_t i = mid; i < mid + blo; ++i) f(i);
 }
 
+/// Iterate f(i) over all basis indices with all three bits clear (size/8
+/// visits) — the block-base walk of the dense 3q fusion kernels.
+template <typename F>
+inline void for_each_oct_base(std::uint64_t size, std::uint64_t b0, std::uint64_t b1,
+                              std::uint64_t b2, F&& f) {
+  std::uint64_t m[3] = {b0, b1, b2};
+  std::sort(m, m + 3);
+  for (std::uint64_t outer = 0; outer < size; outer += 2 * m[2])
+    for (std::uint64_t mid = outer; mid < outer + m[2]; mid += 2 * m[1])
+      for (std::uint64_t inner = mid; inner < mid + m[1]; inner += 2 * m[0])
+        for (std::uint64_t i = inner; i < inner + m[0]; ++i) f(i);
+}
+
 /// Iterate f(i) over all basis indices with bit `b` set (size/2 visits,
 /// ascending) — the |1>-subspace walk of the trajectory noise kernels.
 template <typename F>
@@ -57,6 +70,15 @@ inline bool is_antidiagonal2(const la::CMat& u) {
 inline bool is_diagonal4(const la::CMat& u) {
   for (std::size_t r = 0; r < 4; ++r)
     for (std::size_t c = 0; c < 4; ++c)
+      if (r != c && !is_zero(u(r, c))) return false;
+  return true;
+}
+
+/// True when a square operator of any width is diagonal — the structure test
+/// of the 8x8 fused-block fast path (and any wider future specialization).
+inline bool is_diagonal_n(const la::CMat& u) {
+  for (std::size_t r = 0; r < u.rows(); ++r)
+    for (std::size_t c = 0; c < u.cols(); ++c)
       if (r != c && !is_zero(u(r, c))) return false;
   return true;
 }

@@ -117,6 +117,42 @@ void Statevector::apply_matrix(const CMat& u, const std::vector<std::size_t>& qu
     return;
   }
 
+  if (k == 3) {
+    // Dense 3q kernel for width-3 fused blocks. Same structure dispatch as
+    // the batched backend (kernel_structure.hpp) and the same arithmetic as
+    // the generic path below: acc += u(r,s) * a[s], products rounded first,
+    // sums associated left-to-right.
+    const std::uint64_t b0 = std::uint64_t{1} << qubits[0];
+    const std::uint64_t b1 = std::uint64_t{1} << qubits[1];
+    const std::uint64_t b2 = std::uint64_t{1} << qubits[2];
+
+    if (detail::is_diagonal_n(u)) {
+      // Diagonal 8x8 (fused RZZ/CZ/virtual-RZ chains): one phase per amp.
+      cxd d[8];
+      for (std::size_t s = 0; s < 8; ++s) d[s] = u(s, s);
+      for (std::uint64_t i = 0; i < amp_.size(); ++i) {
+        const std::size_t sub =
+            ((i & b0) ? 1u : 0u) | ((i & b1) ? 2u : 0u) | ((i & b2) ? 4u : 0u);
+        amp_[i] *= d[sub];
+      }
+      return;
+    }
+
+    std::uint64_t offset[8];
+    for (std::size_t s = 0; s < 8; ++s)
+      offset[s] = ((s & 1) ? b0 : 0) | ((s & 2) ? b1 : 0) | ((s & 4) ? b2 : 0);
+    detail::for_each_oct_base(amp_.size(), b0, b1, b2, [&](std::uint64_t i) {
+      cxd a[8];
+      for (std::size_t s = 0; s < 8; ++s) a[s] = amp_[i | offset[s]];
+      for (std::size_t r = 0; r < 8; ++r) {
+        cxd acc{0.0, 0.0};
+        for (std::size_t s = 0; s < 8; ++s) acc += u(r, s) * a[s];
+        amp_[i | offset[r]] = acc;
+      }
+    });
+    return;
+  }
+
   // Generic k-qubit path: enumerate the 2^(n-k) block-base indices directly
   // (insert a zero bit at each target position, ascending — same trick as
   // for_each_pair_base) instead of a skip test over all 2^n indices, so a

@@ -19,25 +19,18 @@ enum class AxisRole { Diagonal, XAxis, Other };
 /// How a gate acts on one of its qubits, for commutation analysis: diagonal
 /// actions commute among themselves, X-axis actions likewise.
 AxisRole role_on(const Op& op, std::size_t q) {
+  if (op.kind == GateKind::CX)
+    return q == op.qubits[0] ? AxisRole::Diagonal : AxisRole::XAxis;
+  // Shared diagonal vocabulary (gates.hpp): identical to what the executor's
+  // virtual-gate folding and the timeline fusion pass classify as diagonal.
+  if (qc::gate_is_diagonal(op.kind)) return AxisRole::Diagonal;
   switch (op.kind) {
-    case GateKind::RZ:
-    case GateKind::Z:
-    case GateKind::S:
-    case GateKind::Sdg:
-    case GateKind::T:
-    case GateKind::Tdg:
-    case GateKind::P:
-    case GateKind::RZZ:
-    case GateKind::CZ:
-      return AxisRole::Diagonal;
     case GateKind::X:
     case GateKind::SX:
     case GateKind::SXdg:
     case GateKind::RX:
     case GateKind::RXX:
       return AxisRole::XAxis;
-    case GateKind::CX:
-      return q == op.qubits[0] ? AxisRole::Diagonal : AxisRole::XAxis;
     default:
       return AxisRole::Other;
   }
@@ -99,10 +92,11 @@ bool is_removable_identity(const Op& op) {
 
 }  // namespace
 
-Circuit cancel_gates(const Circuit& circuit) {
+Circuit cancel_gates(const Circuit& circuit, PassStats* stats) {
   std::vector<Op> ops;
   ops.reserve(circuit.size());
   for (const Op& op : circuit.ops()) ops.push_back(op);
+  std::size_t merges = 0;
 
   bool changed = true;
   int guard = 0;
@@ -138,6 +132,7 @@ Circuit cancel_gates(const Circuit& circuit) {
           break;
         }
         if (action == 2) {
+          ++merges;
           folded = true;
           changed = true;
           break;
@@ -156,6 +151,11 @@ Circuit cancel_gates(const Circuit& circuit) {
 
   Circuit result(circuit.num_qubits());
   for (Op& op : ops) result.append(std::move(op));
+  if (stats != nullptr) {
+    stats->ops_in = circuit.size();
+    stats->ops_out = result.size();
+    stats->merged_runs = merges;
+  }
   return result;
 }
 

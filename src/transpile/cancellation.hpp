@@ -1,6 +1,7 @@
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "transpile/pass_report.hpp"
 
 namespace hgp::transpile {
 
@@ -8,8 +9,12 @@ namespace hgp::transpile {
 /// self-inverse pairs (X·X, H·H, CX·CX, ...), merges runs of RZ/RZZ
 /// rotations, drops zero-angle rotations, and uses commutation rules
 /// (diagonal gates commute with CX controls, X-axis gates with CX targets)
-/// to cancel across intervening gates. Repeats to a fixed point.
-qc::Circuit cancel_gates(const qc::Circuit& circuit);
+/// to cancel across intervening gates. Repeats to a fixed point. The
+/// diagonal vocabulary is qc::gate_is_diagonal — the same classification the
+/// executor's virtual-gate folding and the fusion pass build on.
+/// When `stats` is non-null it receives the pass's op accounting
+/// (ops_in/ops_out; merged_runs counts rotation merges).
+qc::Circuit cancel_gates(const qc::Circuit& circuit, PassStats* stats = nullptr);
 
 /// Number of ops removed by one cancellation run (for reporting).
 std::size_t cancellation_gain(const qc::Circuit& before, const qc::Circuit& after);

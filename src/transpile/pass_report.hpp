@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+
+namespace hgp::transpile {
+
+/// Shared before/after report of an op-reducing pass — filled by circuit-level
+/// gate cancellation and by the timeline block-fusion pass, so callers read
+/// one shape regardless of which layer did the shrinking.
+struct PassStats {
+  std::size_t ops_in = 0;    // ops (or timeline blocks) entering the pass
+  std::size_t ops_out = 0;   // ops (or fused blocks) leaving it
+  std::size_t merged_runs = 0;  // fused/merged groups of >= 2 ops
+  std::size_t max_run_len = 0;  // longest such group
+
+  std::size_t removed() const { return ops_in >= ops_out ? ops_in - ops_out : 0; }
+};
+
+}  // namespace hgp::transpile

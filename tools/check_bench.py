@@ -2,7 +2,8 @@
 """Bench-regression gate for the BENCH_*.json baselines.
 
 Compares the JSON files the bench smoke emits (BENCH_shotloop.json,
-BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json, BENCH_obs.json)
+BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json, BENCH_fusion.json,
+BENCH_obs.json)
 against the committed baselines in bench/baselines/ and fails (exit 1) if:
 
   * any current file is missing or unparsable,
@@ -40,6 +41,7 @@ SPEEDUP_FIELDS = {
     "BENCH_sweep.json": ["speedup"],
     "BENCH_pulse.json": ["speedup", "ir_speedup"],
     "BENCH_gradient.json": ["expectation_speedup", "gradient_speedup"],
+    "BENCH_fusion.json": ["shotloop_speedup", "batch_speedup"],
 }
 # Ratio fields where *lower* is better (telemetry-on / telemetry-off run
 # time): gated against a ceiling instead of a floor.
