@@ -936,13 +936,19 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
   const std::size_t lanes = std::max<std::size_t>(std::size_t{1}, options_.shot_batch_lanes);
 
   std::vector<sim::Counts> batch_counts(num_batches);
+  const CancelToken* tok = options_.cancel.get();
   auto run_batch = [&](std::size_t b) {
+    // Cancellation checkpoint at every batch boundary: a cancelled run's
+    // remaining batches throw instead of simulating, so the pool worker is
+    // freed within one batch regardless of the shot budget.
+    if (tok) tok->check();
     const std::size_t first = b * kShotsPerBatch;
     const std::size_t count = std::min(kShotsPerBatch, shots - first);
     if (lanes <= 1) {
       // Scalar fallback: one shot at a time on a reused statevector.
       sim::Statevector sv(cp.touched.size());
       for (std::size_t s = 0; s < count; ++s) {
+        if (tok) tok->check();
         if (s != 0) sv.reset();
         Rng shot_rng = Rng::child(base, first + s);
         run_one_shot(cp, sv, shot_rng, batch_counts[b]);
@@ -954,6 +960,7 @@ sim::Counts Executor::run_trajectories(const CompiledProgram& cp, std::size_t sh
     // group state plus one tail-sized state when count % lanes != 0.
     std::unique_ptr<sim::BatchedStatevector> full;
     for (std::size_t g = 0; g < count; g += lanes) {
+      if (tok) tok->check();
       const std::size_t nl = std::min(lanes, count - g);
       if (nl == lanes) {
         if (full)
@@ -1062,6 +1069,7 @@ void Executor::refresh_key_prefix() {
 
 sim::Counts Executor::run(const Program& program, std::size_t shots, Rng& rng) {
   HGP_REQUIRE(!program.measure_qubits.empty(), "Executor::run: nothing to measure");
+  if (options_.cancel) options_.cancel->check();
   refresh_key_prefix();
 
   ExecMetrics& em = ExecMetrics::get();
@@ -1096,6 +1104,7 @@ double Executor::run_expectation(const Program& program, std::size_t shots, Rng&
               "Executor::run_expectation: objective has no value function");
   HGP_REQUIRE(!program.measure_qubits.empty(),
               "Executor::run_expectation: nothing to measure");
+  if (options_.cancel) options_.cancel->check();
 
   refresh_key_prefix();
   ExecMetrics& em = ExecMetrics::get();
@@ -1206,12 +1215,15 @@ double Executor::run_expectation(const Program& program, std::size_t shots, Rng&
   else
     batch_p.assign(num_batches * mdim, 0.0);
 
+  const CancelToken* tok = options_.cancel.get();
   auto run_batch = [&](std::size_t b) {
+    if (tok) tok->check();
     const std::size_t first = b * kShotsPerBatch;
     const std::size_t count = std::min(kShotsPerBatch, shots - first);
     std::unique_ptr<sim::BatchedStatevector> full;
     std::vector<double> num(lanes), den(lanes), mass;
     for (std::size_t g = 0; g < count; g += lanes) {
+      if (tok) tok->check();
       const std::size_t nl = std::min(lanes, count - g);
       std::unique_ptr<sim::BatchedStatevector> tail;
       sim::BatchedStatevector* bsv;
@@ -1283,6 +1295,7 @@ std::vector<double> Executor::run_expectation_batch(const std::vector<Program>& 
               "Executor::run_expectation_batch: objective has no value function");
   HGP_REQUIRE(!options_.noise,
               "Executor::run_expectation_batch: candidate-lane batching is noiseless only");
+  if (options_.cancel) options_.cancel->check();
 
   refresh_key_prefix();
   ExecMetrics& em = ExecMetrics::get();

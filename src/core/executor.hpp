@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "backend/backend.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "core/compiled_block.hpp"
 #include "core/program.hpp"
@@ -117,6 +118,12 @@ struct ExecutorOptions {
   /// keep the unfused timeline so every noise event and RNG draw stays at
   /// its original position, bit for bit.
   std::size_t fusion_max_qubits = 2;
+  /// Cooperative cancellation: polled at shot-batch / lane-group boundaries
+  /// of the trajectory loops and at entry of the evaluation calls. When the
+  /// token fires, the in-flight evaluation throws CancelledError — partial
+  /// counts are discarded (a partial histogram would be biased), and the
+  /// worker is freed within one lane group. Null = never cancelled.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// Timing/duration report of one executed program.

@@ -54,20 +54,24 @@ VqeResult run_vqe(const la::PauliSum& hamiltonian, const qc::Circuit& ansatz,
   if (config.optimizer == "cobyla") {
     opt::Cobyla::Options o;
     o.max_evaluations = config.max_evaluations;
+    o.cancel = config.cancel;
     r = opt::Cobyla(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "neldermead") {
     opt::NelderMead::Options o;
     o.max_evaluations = config.max_evaluations;
+    o.cancel = config.cancel;
     r = opt::NelderMead(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "spsa") {
     opt::Spsa::Options o;
     o.max_iterations = config.max_evaluations / 2;
     o.seed = config.seed;
+    o.cancel = config.cancel;
     r = opt::Spsa(o).minimize_batch(energy_batch, x0);
   } else if (config.optimizer == "adam") {
     opt::Adam::Options o;
     o.max_iterations = std::max(1, config.max_evaluations /
                                        (2 * static_cast<int>(nparams) + 1));
+    o.cancel = config.cancel;
     if (config.gradient == "parameter_shift")
       o.mode = opt::Adam::GradientMode::ParameterShift;
     else if (config.gradient == "batched_parameter_shift")

@@ -26,6 +26,10 @@ struct VqeConfig {
   /// dispatcher fans out across workers (same numbers, shorter wall clock).
   std::string gradient = "finite_difference";
   std::uint64_t seed = 5;
+  /// Cooperative cancellation, polled at optimizer iteration boundaries:
+  /// a fired token makes the run return its best-so-far energy with
+  /// optimizer.stopped_early set. Null = never cancelled.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 struct VqeResult {

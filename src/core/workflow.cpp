@@ -57,6 +57,7 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
                          ? std::move(block_cache)
                          : std::make_shared<serve::BlockCache>(eopt.block_cache_capacity);
   eopt.block_store_path = config.block_store_path;
+  eopt.cancel = config.cancel;
   Executor executor(dev, eopt);
   Rng rng(config.seed);
 
@@ -80,7 +81,22 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
         calibrate_readout(executor, probe.measure_qubits, config.calibration_shots, cal_rng));
   }
 
-  const opt::BatchObjective objective = [&](const std::vector<std::vector<double>>& xs) {
+  // Batch-level progress record, updated single-threaded after each batch
+  // returns. When a cancel token fires mid-evaluation the optimizer's own
+  // state unwinds with the CancelledError, so this is what turns a cancelled
+  // run into a partial result instead of a lost one. Pure observation — it
+  // never touches the RNG or the evaluation order, so runs that complete
+  // normally stay bit-identical to a cancel-free build.
+  struct Progress {
+    bool any = false;
+    double best = 0.0;
+    std::vector<double> best_x;
+    int evals = 0;
+    std::vector<double> history;
+  };
+  Progress progress;
+
+  const opt::BatchObjective raw_objective = [&](const std::vector<std::vector<double>>& xs) {
     if (okind != ObjectiveKind::Sample && !config.noise) {
       // Lane-native, zero-noise path: the batch's candidates share one
       // circuit structure, so they pack as lanes of one batched evolve —
@@ -125,37 +141,78 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
     });
   };
 
+  const opt::BatchObjective objective = [&](const std::vector<std::vector<double>>& xs) {
+    const std::vector<double> vals = raw_objective(xs);
+    progress.evals += static_cast<int>(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (!progress.any || vals[i] < progress.best) {
+        progress.any = true;
+        progress.best = vals[i];
+        progress.best_x = xs[i];
+      }
+    }
+    progress.history.push_back(progress.best);
+    return vals;
+  };
+
+  bool cancelled = false;
   opt::OptimizeResult opt_result;
-  if (config.optimizer == "cobyla") {
-    opt::Cobyla::Options copt;
-    copt.max_evaluations = config.max_evaluations;
-    opt_result = opt::Cobyla(copt).minimize_batch(objective, model.initial_parameters(),
+  try {
+    if (config.optimizer == "cobyla") {
+      opt::Cobyla::Options copt;
+      copt.max_evaluations = config.max_evaluations;
+      copt.cancel = config.cancel;
+      opt_result = opt::Cobyla(copt).minimize_batch(objective, model.initial_parameters(),
+                                                    model.bounds());
+    } else if (config.optimizer == "spsa") {
+      opt::Spsa::Options sopt;
+      sopt.max_iterations = config.max_evaluations / 2;  // 2 evals per iteration
+      sopt.seed = config.seed ^ 0x5B5Aull;
+      sopt.cancel = config.cancel;
+      opt_result = opt::Spsa(sopt).minimize_batch(objective, model.initial_parameters(),
                                                   model.bounds());
-  } else if (config.optimizer == "spsa") {
-    opt::Spsa::Options sopt;
-    sopt.max_iterations = config.max_evaluations / 2;  // 2 evals per iteration
-    sopt.seed = config.seed ^ 0x5B5Aull;
-    opt_result = opt::Spsa(sopt).minimize_batch(objective, model.initial_parameters(),
-                                                model.bounds());
-  } else if (config.optimizer == "neldermead") {
-    opt::NelderMead::Options nopt;
-    nopt.max_evaluations = config.max_evaluations;
-    opt_result = opt::NelderMead(nopt).minimize_batch(objective, model.initial_parameters(),
-                                                      model.bounds());
-  } else {
-    HGP_REQUIRE(false, "run_qaoa: unknown optimizer '" + config.optimizer + "'");
+    } else if (config.optimizer == "neldermead") {
+      opt::NelderMead::Options nopt;
+      nopt.max_evaluations = config.max_evaluations;
+      nopt.cancel = config.cancel;
+      opt_result = opt::NelderMead(nopt).minimize_batch(objective, model.initial_parameters(),
+                                                        model.bounds());
+    } else {
+      HGP_REQUIRE(false, "run_qaoa: unknown optimizer '" + config.optimizer + "'");
+    }
+    cancelled = opt_result.stopped_early;
+  } catch (const CancelledError&) {
+    // The token fired inside an evaluation (executor batch checkpoint).
+    // Reassemble the training record from the batches that did complete.
+    cancelled = true;
+    opt_result = opt::OptimizeResult{};
+    opt_result.x = progress.any ? progress.best_x : model.initial_parameters();
+    opt_result.value = progress.best;
+    opt_result.evaluations = progress.evals;
+    opt_result.iterations = static_cast<int>(progress.history.size());
+    opt_result.history = progress.history;
+    opt_result.stopped_early = true;
   }
 
   // Final evaluation at the optimum with a fresh sampling seed, under the
-  // same objective mode the training used.
-  Rng final_rng(config.seed ^ 0xF1A5ull);
-  const Program final_prog = model.instantiate(opt_result.x);
-  double final_cost;
-  if (okind != ObjectiveKind::Sample) {
-    final_cost = executor.run_expectation(final_prog, config.shots, final_rng, spec);
-  } else {
-    const sim::Counts final_counts = executor.run(final_prog, config.shots, final_rng);
-    final_cost = scored_cost(final_counts, instance.graph, config, m3.get());
+  // same objective mode the training used. A cancelled run skips it — the
+  // point of cancelling is to stop spending shots — and reports the best
+  // completed training evaluation instead.
+  double final_cost = -opt_result.value;
+  if (!cancelled) {
+    try {
+      Rng final_rng(config.seed ^ 0xF1A5ull);
+      const Program final_prog = model.instantiate(opt_result.x);
+      if (okind != ObjectiveKind::Sample) {
+        final_cost = executor.run_expectation(final_prog, config.shots, final_rng, spec);
+      } else {
+        const sim::Counts final_counts = executor.run(final_prog, config.shots, final_rng);
+        final_cost = scored_cost(final_counts, instance.graph, config, m3.get());
+      }
+    } catch (const CancelledError&) {
+      cancelled = true;
+      final_cost = -opt_result.value;
+    }
   }
 
   RunResult out;
@@ -168,6 +225,11 @@ RunResult run_qaoa(const graph::Instance& instance, const backend::FakeBackend& 
   out.makespan_dt = executor.last_report().makespan_dt;
   out.swap_count = model.swap_count();
   out.num_parameters = model.num_parameters();
+  if (cancelled) {
+    out.cancelled = true;
+    out.cancel_reason =
+        config.cancel ? cancel_reason_name(config.cancel->reason()) : "cancelled";
+  }
   return out;
 }
 

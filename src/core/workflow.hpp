@@ -72,6 +72,14 @@ struct RunConfig {
   /// environment; telemetry never changes results (counts are bit-identical
   /// on vs off). Off by default: disabled instruments are near-no-ops.
   bool telemetry = false;
+  /// Cooperative cancellation + soft deadline for the whole run. Polled at
+  /// two granularities: optimizer iteration boundaries (graceful — the run
+  /// returns its best-so-far with RunResult::cancelled set) and executor
+  /// shot-batch/lane-group boundaries (prompt — the in-flight evaluation
+  /// unwinds and run_qaoa assembles a partial result from the batches that
+  /// completed). Null = never cancelled. Cancellation never perturbs the
+  /// results of runs that complete normally.
+  std::shared_ptr<const CancelToken> cancel;
   ModelConfig model;
   std::uint64_t seed = 2023;
 };
@@ -87,6 +95,12 @@ struct RunResult {
   int makespan_dt = 0;             // full program duration
   std::size_t swap_count = 0;
   std::size_t num_parameters = 0;
+  /// True when RunConfig::cancel stopped the run early: ar/final_cost come
+  /// from the best completed evaluation (no fresh final sampling pass), and
+  /// optimizer holds the partial training record.
+  bool cancelled = false;
+  /// Why ("cancelled" | "deadline_expired"); empty for a completed run.
+  std::string cancel_reason;
 };
 
 /// Train one model variant on one backend and report the paper's metrics.

@@ -108,6 +108,10 @@ OptimizeResult Cobyla::minimize_batch(const BatchObjective& f, std::vector<doubl
   int since_refresh = 0;
 
   while (evals < options_.max_evaluations && rho > options_.rho_end) {
+    if (cancel_requested(options_.cancel)) {
+      out.stopped_early = true;
+      break;
+    }
     // Noisy objectives: an incumbent whose stored value was a lucky draw
     // anchors the search forever. Refresh it periodically so the model keeps
     // comparing against an honest estimate.

@@ -17,6 +17,9 @@ class Cobyla : public Optimizer {
     int max_evaluations = 50;  // the paper caps COBYLA at 50 iterations
     double rho_begin = 0.4;
     double rho_end = 1e-4;
+    /// Checked at each iteration boundary; when fired, the search returns
+    /// its best point so far with stopped_early = true.
+    std::shared_ptr<const CancelToken> cancel;
   };
 
   Cobyla() = default;

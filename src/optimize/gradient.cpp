@@ -86,6 +86,10 @@ OptimizeResult Adam::minimize_batch(const BatchObjective& f, std::vector<double>
   out.evaluations = 1;
 
   for (int k = 1; k <= options_.max_iterations; ++k) {
+    if (cancel_requested(options_.cancel)) {
+      out.stopped_early = true;
+      break;
+    }
     std::vector<double> g;
     switch (options_.mode) {
       case GradientMode::BatchedParameterShift:
@@ -121,7 +125,7 @@ OptimizeResult Adam::minimize_batch(const BatchObjective& f, std::vector<double>
   }
   out.x = std::move(best_x);
   out.value = best_val;
-  out.converged = true;
+  out.converged = !out.stopped_early;
   return out;
 }
 

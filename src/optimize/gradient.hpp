@@ -47,6 +47,9 @@ class Adam : public Optimizer {
     double epsilon = 1e-8;
     GradientMode mode = GradientMode::FiniteDifference;
     double fd_eps = 1e-3;
+    /// Checked at each iteration boundary; when fired, the search returns
+    /// its best point so far with stopped_early = true.
+    std::shared_ptr<const CancelToken> cancel;
   };
 
   Adam() = default;

@@ -46,6 +46,10 @@ OptimizeResult NelderMead::minimize_batch(const BatchObjective& f, std::vector<d
   };
 
   while (evals < options_.max_evaluations) {
+    if (cancel_requested(options_.cancel)) {
+      out.stopped_early = true;
+      break;
+    }
     sort_simplex();
     out.history.push_back(vals[order[0]]);
     if (std::abs(vals[order[n]] - vals[order[0]]) < options_.f_tol) {

@@ -12,6 +12,9 @@ class NelderMead : public Optimizer {
     int max_evaluations = 200;
     double initial_step = 0.3;
     double f_tol = 1e-8;
+    /// Checked at each iteration boundary; when fired, the search returns
+    /// its best point so far with stopped_early = true.
+    std::shared_ptr<const CancelToken> cancel;
   };
 
   NelderMead() = default;

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "optimize/batch.hpp"
 
 namespace hgp::opt {
@@ -23,6 +25,10 @@ struct OptimizeResult {
   int evaluations = 0;
   int iterations = 0;
   bool converged = false;
+  /// True when a cancel token stopped the search at an iteration boundary:
+  /// x/value/history reflect the best point seen so far, not a converged
+  /// optimum.
+  bool stopped_early = false;
   /// Best objective value after each iteration — convergence curves (the
   /// paper compares pulse-level vs hybrid training speed with these).
   std::vector<double> history;

@@ -26,6 +26,10 @@ OptimizeResult Spsa::minimize_batch(const BatchObjective& f, std::vector<double>
   out.evaluations = 1;
 
   for (int k = 0; k < options_.max_iterations; ++k) {
+    if (cancel_requested(options_.cancel)) {
+      out.stopped_early = true;
+      break;
+    }
     const double ak =
         options_.a / std::pow(k + 1 + options_.stability, options_.alpha);
     const double ck = options_.c / std::pow(k + 1, options_.gamma);
@@ -59,16 +63,19 @@ OptimizeResult Spsa::minimize_batch(const BatchObjective& f, std::vector<double>
     ++out.iterations;
   }
 
-  // Final evaluation at the iterate (often better than the best probe).
-  const double fx = f({x})[0];
-  ++out.evaluations;
-  if (fx < best_val) {
-    best_val = fx;
-    best_x = x;
+  // Final evaluation at the iterate (often better than the best probe) —
+  // skipped on cancellation, where the goal is to stop spending shots.
+  if (!out.stopped_early) {
+    const double fx = f({x})[0];
+    ++out.evaluations;
+    if (fx < best_val) {
+      best_val = fx;
+      best_x = x;
+    }
   }
   out.x = std::move(best_x);
   out.value = best_val;
-  out.converged = true;
+  out.converged = !out.stopped_early;
   return out;
 }
 

@@ -19,6 +19,9 @@ class Spsa : public Optimizer {
     double gamma = 0.101;
     double stability = 10.0;  // the "A" offset in the step schedule
     std::uint64_t seed = 17;
+    /// Checked at each iteration boundary; when fired, the search returns
+    /// its best point so far with stopped_early = true.
+    std::shared_ptr<const CancelToken> cancel;
   };
 
   Spsa() = default;

@@ -4,6 +4,60 @@
 
 namespace hgp::serve {
 
+void FairJobQueue::push(const std::string& tenant, double weight, int priority,
+                        std::function<void()> task) {
+  Tenant& t = tenants_[tenant];
+  // Weight updates take effect immediately (last submit wins); clamp so a
+  // degenerate weight cannot stall the round-robin top-up loop.
+  t.weight = std::max(weight, 1e-3);
+  if (t.count == 0) {
+    ring_.push_back(tenant);
+    t.deficit = 0.0;
+    t.topped_up = false;
+  }
+  t.buckets[priority].push_back(std::move(task));
+  ++t.count;
+  ++size_;
+}
+
+bool FairJobQueue::pop(std::function<void()>& out) {
+  if (size_ == 0) return false;
+  // The ring holds only backlogged tenants, and every full pass tops each
+  // one up by its weight, so some deficit reaches 1 in bounded passes.
+  for (;;) {
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    Tenant& t = tenants_[ring_[cursor_]];
+    if (!t.topped_up) {
+      t.deficit += t.weight;
+      t.topped_up = true;
+    }
+    if (t.deficit < 1.0) {
+      // This stop's credit is spent — move on, keeping the remainder.
+      t.topped_up = false;
+      ++cursor_;
+      continue;
+    }
+    t.deficit -= 1.0;
+    auto bucket = t.buckets.begin();
+    out = std::move(bucket->second.front());
+    bucket->second.pop_front();
+    if (bucket->second.empty()) t.buckets.erase(bucket);
+    --t.count;
+    --size_;
+    if (t.count == 0) {
+      // Drained: leave the ring and forfeit leftover credit, so an idle
+      // tenant cannot bank an unfair burst for later.
+      t.deficit = 0.0;
+      t.topped_up = false;
+      ring_.erase(ring_.begin() + static_cast<long>(cursor_));
+    } else if (t.deficit < 1.0) {
+      t.topped_up = false;
+      ++cursor_;
+    }
+    return true;
+  }
+}
+
 EvalService::EvalService(Options options)
     : cache_(std::make_shared<BlockCache>(options.cache_capacity)),
       block_store_path_(std::move(options.block_store_path)) {
@@ -40,10 +94,7 @@ bool EvalService::run_one(std::unique_lock<std::mutex>& lock, bool jobs_too) {
   if (!candidates_.empty()) {
     task = std::move(candidates_.front());
     candidates_.pop_front();
-  } else if (jobs_too && !jobs_.empty()) {
-    task = std::move(jobs_.front());
-    jobs_.pop_front();
-  } else {
+  } else if (!jobs_too || !jobs_.pop(task)) {
     return false;
   }
   metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
@@ -65,6 +116,26 @@ void EvalService::worker_loop() {
     if (t0 != 0) metrics_.worker_idle_ns->inc(obs::now_ns() - t0);
     if (!run_one(lock, /*jobs_too=*/true) && stop_) return;
   }
+}
+
+void EvalService::post(const SubmitOptions& options, std::function<void()> task) {
+  const std::uint64_t t_enq = obs::enabled() ? obs::now_ns() : 0;
+  std::function<void()> wrapped = [this, t_enq, task = std::move(task)] {
+    if (t_enq != 0) metrics_.job_wait_ns->record(obs::now_ns() - t_enq);
+    task();
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(options.tenant, options.weight, options.priority, std::move(wrapped));
+    metrics_.jobs_submitted->inc();
+    metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
+  }
+  cv_.notify_all();
+}
+
+std::size_t EvalService::queued_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
 }
 
 void EvalService::run(std::vector<std::function<void()>>& tasks) {

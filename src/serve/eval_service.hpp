@@ -4,10 +4,13 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -16,6 +19,45 @@
 #include "serve/block_cache.hpp"
 
 namespace hgp::serve {
+
+/// Weighted-fair job queue: per-tenant FIFO/priority queues served by
+/// deficit round-robin, so one tenant's 1000-job sweep cannot starve another
+/// tenant's single run — tenant t drains jobs in proportion to its weight
+/// while backlogged, and an idle tenant accumulates no credit. Within a
+/// tenant, higher priority runs first; equal priorities keep submission
+/// order. Not internally synchronized: EvalService guards it with its queue
+/// mutex. Pop order is fully deterministic for a given push sequence.
+class FairJobQueue {
+ public:
+  void push(const std::string& tenant, double weight, int priority,
+            std::function<void()> task);
+  /// Next task under deficit round-robin; false when empty.
+  bool pop(std::function<void()>& out);
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    /// DRR credit: topped up by `weight` once per round-robin stop, spent 1
+    /// per job served. Cleared when the tenant drains.
+    double deficit = 0.0;
+    /// True while this tenant is the ring cursor's current stop and has
+    /// already received this stop's top-up.
+    bool topped_up = false;
+    /// Priority buckets, higher first; FIFO within a bucket.
+    std::map<int, std::deque<std::function<void()>>, std::greater<int>> buckets;
+    std::size_t count = 0;
+  };
+
+  std::unordered_map<std::string, Tenant> tenants_;
+  /// Backlogged tenants in round-robin order; drained tenants drop out (and
+  /// forfeit their remaining deficit).
+  std::vector<std::string> ring_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
 
 /// The batched evaluation service: one worker pool plus one shared
 /// compiled-block cache serving many concurrent VQA workloads — gate blocks
@@ -71,27 +113,35 @@ class EvalService : public opt::BatchDispatcher {
   /// task of this batch is rethrown here.
   void run(std::vector<std::function<void()>>& tasks) override;
 
+  /// Scheduling metadata of one queued job. Jobs of one tenant share that
+  /// tenant's deficit-round-robin budget; `weight` scales it (last submit
+  /// wins), `priority` orders jobs within the tenant (higher first).
+  struct SubmitOptions {
+    std::string tenant = "default";
+    double weight = 1.0;
+    int priority = 0;
+  };
+
+  /// Queue a bare task on the fair job queue (no future). The job layer
+  /// uses this — it tracks completion through its own Job promise.
+  void post(const SubmitOptions& options, std::function<void()> task);
+
   /// Queue a job on the pool and get its future.
   template <typename F>
   auto submit(F job) -> std::future<std::invoke_result_t<F>> {
+    return submit(SubmitOptions{}, std::move(job));
+  }
+  template <typename F>
+  auto submit(const SubmitOptions& options, F job) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(job));
     std::future<R> future = task->get_future();
-    // Enqueue timestamp only when telemetry is live — the disabled path
-    // never touches the clock.
-    const std::uint64_t t_enq = obs::enabled() ? obs::now_ns() : 0;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      jobs_.push_back([this, task, t_enq] {
-        if (t_enq != 0) metrics_.job_wait_ns->record(obs::now_ns() - t_enq);
-        (*task)();
-      });
-      metrics_.jobs_submitted->inc();
-      metrics_.queue_depth->set(static_cast<std::int64_t>(candidates_.size() + jobs_.size()));
-    }
-    cv_.notify_all();
+    post(options, [task] { (*task)(); });
     return future;
   }
+
+  /// Jobs currently queued (excludes candidates and running jobs).
+  std::size_t queued_jobs() const;
 
  private:
   /// One in-flight candidate batch: tasks decrement `remaining`; the first
@@ -126,10 +176,12 @@ class EvalService : public opt::BatchDispatcher {
 
   std::shared_ptr<BlockCache> cache_;
   std::string block_store_path_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> candidates_;
-  std::deque<std::function<void()>> jobs_;
+  /// Per-tenant weighted-fair job queue (was a plain FIFO deque; the DRR
+  /// ring keeps heavy tenants from starving light ones).
+  FairJobQueue jobs_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/eval_service.hpp"
+#include "serve/job.hpp"
+#include "serve/job_validation.hpp"
+
+namespace hgp::serve {
+
+/// Managed job front end of the serve subsystem: SweepRunner runs requests,
+/// JobService runs *jobs* — validated before any executor exists, admitted
+/// against queue and backlog limits, scheduled weighted-fair across tenants,
+/// cancellable mid-run, and expired when a soft deadline passes while they
+/// wait. Every outcome is a terminal JobState plus a structured JobError
+/// delivered through a future that always resolves with a value; the job
+/// layer never throws at a client.
+///
+/// Scheduling rides on EvalService's deficit-round-robin job queue, and the
+/// runs themselves are ordinary run_qaoa calls on the shared worker pool and
+/// compiled-block cache — so jobs that complete normally are bit-identical
+/// to the same SweepJob run through SweepRunner (or alone), for any worker
+/// count.
+class JobService {
+ public:
+  struct Options {
+    /// Worker threads of the underlying EvalService (0 = hardware).
+    std::size_t num_workers = 0;
+    /// LRU bound of the shared compiled-block cache.
+    std::size_t cache_capacity = 8192;
+    /// Non-empty = persistent compiled-block store shared by every job.
+    std::string block_store_path;
+    /// Admission control: maximum jobs waiting in the queue. A submit that
+    /// finds the queue at the limit is rejected with QueueFull —
+    /// deterministically, the limit is exact, not advisory. 0 = unbounded.
+    std::size_t max_queued_jobs = 0;
+    /// Admission control: reject with BacklogFull when the estimated time to
+    /// drain the queue (EWMA of recent job run times × queued jobs / worker
+    /// count) exceeds this bound. 0 = unbounded. The estimate warms up from
+    /// completed jobs, so an empty service always admits.
+    std::chrono::milliseconds max_backlog{0};
+  };
+
+  /// Backoff schedule for submit_with_retry: only transient rejections
+  /// (QueueFull/BacklogFull — see job_error_transient) are retried.
+  struct RetryPolicy {
+    int max_attempts = 4;
+    std::chrono::milliseconds initial_delay{5};
+    double multiplier = 2.0;
+    std::chrono::milliseconds max_delay{500};
+  };
+
+  JobService() : JobService(Options{}) {}
+  explicit JobService(Options options);
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Validate, admit, and queue one job. The handle reports the submit-time
+  /// verdict: accepted() means Queued (watch `outcome`); otherwise
+  /// submit_state is Rejected (validation / admission) or Expired (deadline
+  /// already in the past) and `outcome` is already resolved.
+  JobHandle submit(JobRequest request);
+
+  /// submit(), retrying transient rejections (queue pressure) with
+  /// exponential backoff. Permanent rejections return immediately.
+  JobHandle submit_with_retry(const JobRequest& request, const RetryPolicy& policy);
+  JobHandle submit_with_retry(const JobRequest& request) {
+    return submit_with_retry(request, RetryPolicy{});
+  }
+
+  /// Request cooperative cancellation. A still-queued job resolves Cancelled
+  /// immediately (no executor is ever constructed); a running job observes
+  /// its token at the next optimizer-iteration or shot-batch/lane-group
+  /// checkpoint and resolves with its partial result. False when the id is
+  /// unknown or the job already reached a terminal state.
+  bool cancel(JobId id);
+
+  /// Current lifecycle state (nullopt for unknown or pruned ids).
+  std::optional<JobState> state(JobId id) const;
+
+  /// Jobs currently in the Queued state (admission control's view).
+  std::size_t queued() const;
+
+  /// Estimated nanoseconds to drain the current queue (the BacklogFull
+  /// signal): EWMA job run time × queued / workers. 0 until a job finishes.
+  std::uint64_t estimated_backlog_ns() const;
+
+  /// Drop terminal jobs from the registry (their futures stay valid — the
+  /// shared state lives in the handle). Returns how many were dropped.
+  std::size_t prune_finished();
+
+  EvalService& service() { return service_; }
+  BlockCache::Stats cache_stats() const { return service_.cache_stats(); }
+
+ private:
+  std::shared_ptr<Job> find(JobId id) const;
+  /// The queued lambda: deadline/cancel pre-check (terminal without an
+  /// executor), Queued→Running, run_qaoa with the job's token, map the
+  /// outcome, resolve.
+  void run_job(const std::shared_ptr<Job>& job);
+  /// Win `from`→terminal, resolve the promise, and account metrics. No-op
+  /// (false) when another thread already moved the job.
+  bool finish(const std::shared_ptr<Job>& job, JobState from, JobOutcome outcome);
+  void note_queued_delta(long delta);
+
+  Options options_;
+
+  mutable std::mutex jobs_mutex_;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+  /// Jobs in the Queued state; decremented exactly once per job by whichever
+  /// thread wins the transition out of Queued.
+  std::size_t queued_count_ = 0;
+  /// EWMA of completed-job run time, the backlog estimator's rate input.
+  double ewma_run_ns_ = 0.0;
+
+  /// "service.*" job-lifecycle series (resolved once at construction); the
+  /// per-tenant "service.tenant.<t>.*" counters resolve lazily per tenant.
+  struct Metrics {
+    obs::Counter* accepted;
+    obs::Counter* rejected;
+    obs::Counter* completed;
+    obs::Counter* failed;
+    obs::Counter* cancelled;
+    obs::Counter* expired;
+    obs::Gauge* queued;
+    obs::Gauge* backlog_ns;
+    obs::Histogram* queue_ns;
+    obs::Histogram* run_ns;
+    /// Cancel-request to future-resolution latency — the "how fast does a
+    /// cancelled run free its worker" series the tests pin.
+    obs::Histogram* cancel_ns;
+  };
+  Metrics metrics_;
+
+  /// Declared last on purpose: EvalService's destructor drains the queued
+  /// run_job lambdas, which touch every member above — so the pool must be
+  /// torn down first.
+  EvalService service_;
+};
+
+}  // namespace hgp::serve

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/error.hpp"
+#include "serve/job.hpp"
+#include "serve/sweep.hpp"
+
+namespace hgp::serve {
+
+/// Hard caps the validator enforces before any executor is constructed.
+/// The register caps mirror Executor::compile_program's per-engine limits
+/// (statevector trajectories to 14 touched qubits, the exact density engine
+/// to 10); the shot/evaluation caps bound the work a single job may claim so
+/// an absurd request cannot occupy a worker for hours.
+inline constexpr std::size_t kMaxTrajectoryQubits = 14;
+inline constexpr std::size_t kMaxDensityQubits = 10;
+inline constexpr std::size_t kMaxShots = std::size_t{1} << 26;  // 67M
+inline constexpr int kMaxEvaluations = 1 << 20;
+inline constexpr std::size_t kMaxLanes = 4096;
+
+/// Validate a run request without touching a backend, model, or executor.
+/// Returns {None, ""} when the job is well-formed; otherwise the first
+/// failed check's structured code and a human-readable message. Checks are
+/// ordered cheapest-first and stop at the first failure, so the verdict for
+/// a given request is deterministic.
+JobError validate_job(const SweepJob& job);
+
+/// Exception form for the future-based SweepRunner API: carries the
+/// structured code alongside the message.
+class JobValidationError : public Error {
+ public:
+  explicit JobValidationError(JobError error)
+      : Error("job validation failed [" + job_error_code_name(error.code) +
+              "]: " + error.message),
+        error_(std::move(error)) {}
+  const JobError& error() const { return error_; }
+
+ private:
+  JobError error_;
+};
+
+}  // namespace hgp::serve

@@ -1,7 +1,7 @@
 #include "serve/sweep.hpp"
 
-#include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "serve/job_validation.hpp"
 
 namespace hgp::serve {
 
@@ -14,7 +14,15 @@ SweepRunner::SweepRunner(Options options)
 }
 
 std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
-  HGP_REQUIRE(job.dev != nullptr, "SweepRunner: job '" + job.label + "' has no backend");
+  // Reject malformed requests (null backend, oversized register, unknown
+  // engine/optimizer, ...) before any executor is constructed. The caller
+  // gets a failed future with the structured code rather than a crash deep
+  // inside a worker thread.
+  if (JobError error = validate_job(job)) {
+    std::promise<core::RunResult> failed;
+    failed.set_exception(std::make_exception_ptr(JobValidationError(std::move(error))));
+    return failed.get_future();
+  }
   // The pool provides the parallelism: a default thread count (0 = hardware
   // concurrency) would nest a full trajectory shot pool inside every worker
   // and oversubscribe the machine. Counts are bit-identical for any thread
@@ -24,7 +32,11 @@ std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
   // own; the first executor to construct attaches it to the shared cache.
   if (job.config.block_store_path.empty())
     job.config.block_store_path = service_.block_store_path();
-  return service_.submit([this, job = std::move(job)] {
+  EvalService::SubmitOptions options;
+  options.tenant = job.tenant;
+  options.weight = job.weight;
+  options.priority = job.priority;
+  return service_.submit(options, [this, job = std::move(job)] {
     // Per-job latency: the span lands in the run-lifecycle trace and the
     // elapsed time in the sweep.job_ns histogram.
     obs::Span span("sweep.job", job_ns_);

@@ -21,6 +21,12 @@ struct SweepJob {
   const backend::FakeBackend* dev = nullptr;
   core::ModelKind kind = core::ModelKind::Hybrid;
   core::RunConfig config;
+  /// Fair-share scheduling metadata (see FairJobQueue): jobs of one tenant
+  /// share that tenant's deficit-round-robin budget, scaled by `weight`;
+  /// `priority` orders jobs within the tenant (higher first).
+  std::string tenant = "default";
+  int priority = 0;
+  double weight = 1.0;
 };
 
 /// Multi-tenant sweep session: queue many run configurations onto one

@@ -1,0 +1,781 @@
+// The job layer: request validation (structured codes before any executor
+// exists), the lifecycle state machine, cooperative cancellation through the
+// optimizer and trajectory shot loops, deadline expiry of queued jobs,
+// deficit-round-robin fair sharing across tenants, deterministic admission
+// control at the queue limit, and the contract that jobs completing normally
+// are bit-identical to plain run_qaoa for any worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "backend/presets.hpp"
+#include "common/cancel.hpp"
+#include "core/workflow.hpp"
+#include "graph/instances.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/job.hpp"
+#include "serve/job_service.hpp"
+#include "serve/job_validation.hpp"
+#include "serve/sweep.hpp"
+
+using namespace hgp;
+using serve::FairJobQueue;
+using serve::Job;
+using serve::JobErrorCode;
+using serve::JobHandle;
+using serve::JobId;
+using serve::JobOutcome;
+using serve::JobRequest;
+using serve::JobService;
+using serve::JobState;
+using serve::SweepJob;
+
+namespace {
+
+const backend::FakeBackend& toronto() {
+  static const backend::FakeBackend dev = backend::make_toronto();
+  return dev;
+}
+
+core::RunConfig tiny_config(const std::string& optimizer) {
+  core::RunConfig cfg;
+  cfg.shots = 64;
+  cfg.max_evaluations = 6;
+  cfg.optimizer = optimizer;
+  cfg.executor_threads = 1;  // keep the nested shot loop serial in tests
+  return cfg;
+}
+
+SweepJob good_job(const std::string& label, const std::string& optimizer = "cobyla") {
+  return {label, graph::paper_task1(), &toronto(), core::ModelKind::GateLevel,
+          tiny_config(optimizer)};
+}
+
+/// The 12 physical qubits of toronto's heavy-hex lattice that form a line —
+/// the default device layout stops at 8 qubits, so 12-qubit jobs pin this
+/// placement explicitly.
+const std::vector<std::size_t> kLine12 = {0, 1, 4, 7, 10, 12, 13, 14, 16, 19, 22, 25};
+
+/// A 12-vertex path whose edges are all nearest neighbours on kLine12, so
+/// routing inserts no SWAPs and the compiled program touches exactly 12
+/// physical qubits — big enough that one noisy evaluation takes real wall
+/// time, so a cancel request reliably lands mid-shot-loop.
+graph::Instance line12() {
+  graph::Graph g(12);
+  for (std::size_t i = 0; i + 1 < 12; ++i) g.add_edge(i, i + 1);
+  return graph::Instance{"line12", g, 11.0};
+}
+
+/// A 12-vertex ring with chords: passes validation (12 <= the 14-qubit
+/// trajectory cap) but the closure edge and chords route through heavy-hex
+/// qubits outside the line, blowing the executor's active-qubit bound at
+/// run time — a genuine mid-run throw inside a worker.
+graph::Instance ring12() {
+  graph::Graph g(12);
+  for (std::size_t i = 0; i < 12; ++i) g.add_edge(i, (i + 1) % 12);
+  g.add_edge(0, 6);
+  g.add_edge(3, 9);
+  return graph::Instance{"ring12", g, 14.0};
+}
+
+SweepJob big_job(const std::string& label) {
+  SweepJob job = good_job(label);
+  job.instance = line12();
+  job.config.shots = std::size_t{1} << 16;
+  job.config.max_evaluations = 8;
+  job.config.model.initial_layout = kLine12;
+  return job;
+}
+
+void expect_same_result(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.optimizer.x, b.optimizer.x);
+  EXPECT_EQ(a.optimizer.value, b.optimizer.value);
+  EXPECT_EQ(a.optimizer.history, b.optimizer.history);
+  EXPECT_EQ(a.optimizer.evaluations, b.optimizer.evaluations);
+  EXPECT_EQ(a.ar, b.ar);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+}
+
+/// Park the single worker on a sleep task so subsequent submits all land in
+/// the queue before anything is dequeued (deterministic scheduling tests).
+void block_worker(JobService& svc, std::chrono::milliseconds for_ms) {
+  svc.service().post(serve::EvalService::SubmitOptions{},
+                     [for_ms] { std::this_thread::sleep_for(for_ms); });
+}
+
+bool wait_for_state(JobService& svc, JobId id, JobState want,
+                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (svc.state(id) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+JobErrorCode code_of(const SweepJob& job) { return serve::validate_job(job).code; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(JobValidation, WellFormedJobPasses) {
+  EXPECT_EQ(code_of(good_job("ok")), JobErrorCode::None);
+  EXPECT_FALSE(serve::validate_job(good_job("ok")));
+}
+
+TEST(JobValidation, RejectsEachMalformation) {
+  SweepJob j = good_job("bad");
+  j.dev = nullptr;
+  EXPECT_EQ(code_of(j), JobErrorCode::NullBackend);
+
+  j = good_job("bad");
+  j.instance.graph = graph::Graph(0);
+  EXPECT_EQ(code_of(j), JobErrorCode::EmptyInstance);
+
+  j = good_job("bad");
+  j.instance.graph = graph::Graph(4);  // vertices but no edges
+  EXPECT_EQ(code_of(j), JobErrorCode::EmptyInstance);
+
+  j = good_job("bad");
+  j.config.engine = "teleport";
+  EXPECT_EQ(code_of(j), JobErrorCode::BadEngine);
+
+  // 12 vertices: fine for trajectories (cap 14), over the density cap (10).
+  j = big_job("bad");
+  EXPECT_EQ(code_of(j), JobErrorCode::None);
+  j.config.engine = "density";
+  EXPECT_EQ(code_of(j), JobErrorCode::TooManyQubits);
+
+  j = good_job("bad");
+  j.config.objective = "fidelity";
+  EXPECT_EQ(code_of(j), JobErrorCode::BadObjective);
+
+  j = good_job("bad");
+  j.config.m3 = true;
+  j.config.objective = "expectation";
+  EXPECT_EQ(code_of(j), JobErrorCode::IncompatibleM3);
+
+  j = good_job("bad");
+  j.config.optimizer = "gradient_descent";
+  EXPECT_EQ(code_of(j), JobErrorCode::BadOptimizer);
+
+  j = good_job("bad");
+  j.config.shots = 0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadShots);
+
+  j = good_job("bad");
+  j.config.max_evaluations = 0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadEvaluations);
+
+  j = good_job("bad");
+  j.config.shot_batch_lanes = serve::kMaxLanes + 1;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadLanes);
+
+  j = good_job("bad");
+  j.config.objective = "cvar";
+  j.config.cvar_alpha = 0.0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadCvarAlpha);
+
+  j = good_job("bad");
+  j.config.model.p = 0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadModel);
+
+  j = good_job("bad");
+  j.kind = core::ModelKind::Hybrid;
+  j.config.model.mixer_duration_dt = 0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadModel);
+
+  j = good_job("bad");
+  j.tenant = "";
+  EXPECT_EQ(code_of(j), JobErrorCode::BadTenant);
+
+  j = good_job("bad");
+  j.weight = -1.0;
+  EXPECT_EQ(code_of(j), JobErrorCode::BadTenant);
+}
+
+TEST(JobValidation, BackendTooSmallForInstance) {
+  // falcon_16's 16 qubits cannot host a 12-qubit line placed past qubit 15 —
+  // use a graph bigger than the device instead.
+  graph::Graph g(20);
+  for (std::size_t i = 0; i + 1 < 20; ++i) g.add_edge(i, i + 1);
+  SweepJob j = good_job("bad");
+  j.instance = graph::Instance{"line20", g, 19.0};
+  EXPECT_EQ(code_of(j), JobErrorCode::TooManyQubits);  // register cap first
+}
+
+TEST(JobValidation, ErrorCodeNamesAndTransience) {
+  EXPECT_EQ(serve::job_error_code_name(JobErrorCode::None), "none");
+  EXPECT_EQ(serve::job_error_code_name(JobErrorCode::QueueFull), "queue_full");
+  EXPECT_EQ(serve::job_error_code_name(JobErrorCode::ExecutionFailed), "execution_failed");
+  EXPECT_TRUE(serve::job_error_transient(JobErrorCode::QueueFull));
+  EXPECT_TRUE(serve::job_error_transient(JobErrorCode::BacklogFull));
+  EXPECT_FALSE(serve::job_error_transient(JobErrorCode::NullBackend));
+  EXPECT_FALSE(serve::job_error_transient(JobErrorCode::DeadlineExpired));
+}
+
+TEST(JobValidation, SweepRunnerReturnsFailedFutureInsteadOfCrashing) {
+  serve::SweepRunner runner(serve::SweepRunner::Options{1, 64});
+  SweepJob job = good_job("null-dev");
+  job.dev = nullptr;  // used to be a hard HGP_REQUIRE (or worse, a segfault)
+  std::future<core::RunResult> f = runner.submit(std::move(job));
+  try {
+    f.get();
+    FAIL() << "expected JobValidationError";
+  } catch (const serve::JobValidationError& e) {
+    EXPECT_EQ(e.error().code, JobErrorCode::NullBackend);
+    EXPECT_NE(std::string(e.what()).find("null_backend"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle state machine
+
+TEST(JobStateMachine, TransitionEdges) {
+  using serve::job_transition_allowed;
+  EXPECT_TRUE(job_transition_allowed(JobState::Queued, JobState::Running));
+  EXPECT_TRUE(job_transition_allowed(JobState::Queued, JobState::Cancelled));
+  EXPECT_TRUE(job_transition_allowed(JobState::Queued, JobState::Expired));
+  EXPECT_TRUE(job_transition_allowed(JobState::Running, JobState::Completed));
+  EXPECT_TRUE(job_transition_allowed(JobState::Running, JobState::Failed));
+  EXPECT_TRUE(job_transition_allowed(JobState::Running, JobState::Cancelled));
+  EXPECT_TRUE(job_transition_allowed(JobState::Running, JobState::Expired));
+
+  EXPECT_FALSE(job_transition_allowed(JobState::Queued, JobState::Completed));
+  EXPECT_FALSE(job_transition_allowed(JobState::Queued, JobState::Failed));
+  EXPECT_FALSE(job_transition_allowed(JobState::Completed, JobState::Running));
+  EXPECT_FALSE(job_transition_allowed(JobState::Cancelled, JobState::Queued));
+  EXPECT_FALSE(job_transition_allowed(JobState::Running, JobState::Queued));
+  EXPECT_FALSE(job_transition_allowed(JobState::Rejected, JobState::Queued));
+}
+
+TEST(JobStateMachine, TerminalStatesAndNames) {
+  EXPECT_FALSE(serve::job_state_terminal(JobState::Queued));
+  EXPECT_FALSE(serve::job_state_terminal(JobState::Running));
+  EXPECT_TRUE(serve::job_state_terminal(JobState::Completed));
+  EXPECT_TRUE(serve::job_state_terminal(JobState::Failed));
+  EXPECT_TRUE(serve::job_state_terminal(JobState::Cancelled));
+  EXPECT_TRUE(serve::job_state_terminal(JobState::Expired));
+  EXPECT_TRUE(serve::job_state_terminal(JobState::Rejected));
+  EXPECT_EQ(serve::job_state_name(JobState::Queued), "queued");
+  EXPECT_EQ(serve::job_state_name(JobState::Expired), "expired");
+}
+
+TEST(JobStateMachine, CasAllowsExactlyOneWinner) {
+  Job job(1, JobRequest{good_job("cas")});
+  EXPECT_EQ(job.state(), JobState::Queued);
+  EXPECT_TRUE(job.try_transition(JobState::Queued, JobState::Running));
+  // Second claimant of the same edge loses.
+  EXPECT_FALSE(job.try_transition(JobState::Queued, JobState::Cancelled));
+  // Illegal edge never succeeds.
+  EXPECT_FALSE(job.try_transition(JobState::Running, JobState::Queued));
+  EXPECT_TRUE(job.try_transition(JobState::Running, JobState::Completed));
+  EXPECT_FALSE(job.try_transition(JobState::Running, JobState::Failed));
+  EXPECT_EQ(job.state(), JobState::Completed);
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken
+
+TEST(JobCancelToken, LatchesFirstReason) {
+  CancelToken tok;
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_EQ(tok.reason(), CancelReason::None);
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.reason(), CancelReason::Cancelled);
+  // Later causes never overwrite the first.
+  tok.cancel(CancelReason::DeadlineExpired);
+  EXPECT_EQ(tok.reason(), CancelReason::Cancelled);
+  EXPECT_THROW(tok.check(), CancelledError);
+}
+
+TEST(JobCancelToken, DeadlineLatchesDeadlineExpired) {
+  CancelToken tok;
+  tok.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(tok.has_deadline());
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.reason(), CancelReason::DeadlineExpired);
+  try {
+    tok.check();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::DeadlineExpired);
+    EXPECT_NE(std::string(e.what()).find("deadline_expired"), std::string::npos);
+  }
+}
+
+TEST(JobCancelToken, FutureDeadlineDoesNotFire) {
+  CancelToken tok;
+  tok.set_deadline(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_NO_THROW(tok.check());
+}
+
+// ---------------------------------------------------------------------------
+// FairJobQueue (the DRR scheduler, isolated)
+
+TEST(JobQueue, EqualWeightsInterleaveRoundRobin) {
+  FairJobQueue q;
+  std::vector<std::string> served;
+  auto task = [&served](std::string tag) { return [&served, tag] { served.push_back(tag); }; };
+  for (int i = 0; i < 4; ++i) q.push("A", 1.0, 0, task("A" + std::to_string(i)));
+  q.push("B", 1.0, 0, task("B0"));
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.tenant_count(), 2u);
+
+  std::function<void()> t;
+  while (q.pop(t)) t();
+  // One credit each per ring pass: A0, then B's only job, then A drains.
+  EXPECT_EQ(served, (std::vector<std::string>{"A0", "B0", "A1", "A2", "A3"}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, WeightsScaleServiceShare) {
+  FairJobQueue q;
+  std::vector<std::string> served;
+  auto task = [&served](std::string tag) { return [&served, tag] { served.push_back(tag); }; };
+  for (int i = 0; i < 4; ++i) q.push("A", 2.0, 0, task("A"));
+  for (int i = 0; i < 2; ++i) q.push("B", 1.0, 0, task("B"));
+
+  std::function<void()> t;
+  while (q.pop(t)) t();
+  // Weight 2 tenant serves two jobs per ring stop, weight 1 serves one.
+  EXPECT_EQ(served, (std::vector<std::string>{"A", "A", "B", "A", "A", "B"}));
+}
+
+TEST(JobQueue, PriorityOrdersWithinTenant) {
+  FairJobQueue q;
+  std::vector<int> served;
+  q.push("A", 1.0, 0, [&served] { served.push_back(1); });
+  q.push("A", 1.0, 5, [&served] { served.push_back(2); });
+  q.push("A", 1.0, 0, [&served] { served.push_back(3); });
+  std::function<void()> t;
+  while (q.pop(t)) t();
+  // Higher priority first; FIFO within a priority.
+  EXPECT_EQ(served, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(JobQueue, DrainedTenantForfeitsDeficit) {
+  FairJobQueue q;
+  std::vector<std::string> served;
+  auto task = [&served](std::string tag) { return [&served, tag] { served.push_back(tag); }; };
+  // B drains with banked weight; when it comes back it must start from zero
+  // credit, not burst ahead of A.
+  q.push("A", 1.0, 0, task("A0"));
+  q.push("B", 5.0, 0, task("B0"));
+  std::function<void()> t;
+  while (q.pop(t)) t();
+  served.clear();
+  q.push("A", 1.0, 0, task("A1"));
+  q.push("B", 1.0, 0, task("B1"));
+  q.push("B", 1.0, 0, task("B2"));
+  while (q.pop(t)) t();
+  EXPECT_EQ(served, (std::vector<std::string>{"A1", "B1", "B2"}));
+}
+
+TEST(JobQueue, PopOnEmptyReturnsFalse) {
+  FairJobQueue q;
+  std::function<void()> t;
+  EXPECT_FALSE(q.pop(t));
+  q.push("A", 1.0, 0, [] {});
+  EXPECT_TRUE(q.pop(t));
+  EXPECT_FALSE(q.pop(t));
+}
+
+// ---------------------------------------------------------------------------
+// JobService: the happy path and determinism
+
+TEST(JobService, SubmitRunsToCompletion) {
+  JobService svc(JobService::Options{2, 1024});
+  JobHandle h = svc.submit(JobRequest{good_job("happy")});
+  ASSERT_TRUE(h.accepted());
+  EXPECT_GT(h.id, 0u);
+
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Completed);
+  EXPECT_FALSE(outcome.error);
+  ASSERT_TRUE(outcome.has_result);
+  EXPECT_FALSE(outcome.result.cancelled);
+  EXPECT_GT(outcome.result.ar, 0.0);
+  EXPECT_GT(outcome.run_ns, 0u);
+  EXPECT_EQ(svc.state(h.id), JobState::Completed);
+  EXPECT_EQ(svc.queued(), 0u);
+}
+
+TEST(JobService, UnknownIdsAreHandled) {
+  JobService svc(JobService::Options{1, 64});
+  EXPECT_FALSE(svc.state(42).has_value());
+  EXPECT_FALSE(svc.cancel(42));
+}
+
+TEST(JobService, CancelOfTerminalJobIsFalse) {
+  JobService svc(JobService::Options{1, 1024});
+  JobHandle h = svc.submit(JobRequest{good_job("done")});
+  h.outcome.wait();
+  EXPECT_FALSE(svc.cancel(h.id));
+}
+
+TEST(JobService, PruneDropsTerminalJobs) {
+  JobService svc(JobService::Options{1, 1024});
+  JobHandle h = svc.submit(JobRequest{good_job("prune")});
+  h.outcome.wait();
+  EXPECT_EQ(svc.prune_finished(), 1u);
+  EXPECT_FALSE(svc.state(h.id).has_value());
+  // The handle's future stays valid after pruning.
+  EXPECT_EQ(h.outcome.get().state, JobState::Completed);
+}
+
+TEST(JobService, RejectedSubmitResolvesImmediately) {
+  JobService svc(JobService::Options{1, 64});
+  SweepJob bad = good_job("reject-me");
+  bad.config.optimizer = "bogus";
+  JobHandle h = svc.submit(JobRequest{std::move(bad)});
+  EXPECT_FALSE(h.accepted());
+  EXPECT_EQ(h.submit_state, JobState::Rejected);
+  EXPECT_EQ(h.submit_error.code, JobErrorCode::BadOptimizer);
+  const JobOutcome outcome = h.outcome.get();  // already resolved
+  EXPECT_EQ(outcome.state, JobState::Rejected);
+  EXPECT_FALSE(outcome.has_result);
+}
+
+TEST(JobService, CompletedJobsBitIdenticalToPlainRunForAnyWorkerCount) {
+  // SPSA fans 2-candidate batches through the pool every iteration.
+  const SweepJob job = good_job("determinism", "spsa");
+  const core::RunResult inline_result =
+      core::run_qaoa(job.instance, *job.dev, job.kind, job.config);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    JobService svc(JobService::Options{workers, 1024});
+    JobHandle h = svc.submit(JobRequest{job});
+    const JobOutcome outcome = h.outcome.get();
+    ASSERT_EQ(outcome.state, JobState::Completed);
+    expect_same_result(outcome.result, inline_result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+
+TEST(JobCancellation, RunningJobFreesWorkerQuickly) {
+  JobService svc(JobService::Options{1, 4096});
+  JobHandle h = svc.submit(JobRequest{big_job("cancel-me")});
+  ASSERT_TRUE(h.accepted());
+  ASSERT_TRUE(wait_for_state(svc, h.id, JobState::Running, std::chrono::seconds(30)));
+  // Let it get well into the first evaluation's shot loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(svc.cancel(h.id));
+  const JobOutcome outcome = h.outcome.get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(outcome.state, JobState::Cancelled);
+  EXPECT_EQ(outcome.error.code, JobErrorCode::CancelRequested);
+  // The checkpoint granularity is one shot batch / lane group — resolution
+  // must come orders of magnitude sooner than the run's natural end. The
+  // bound is generous for CI noise; an uncancelled run takes tens of seconds.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+  // Partial-result annotation survives the unwind.
+  ASSERT_TRUE(outcome.has_result);
+  EXPECT_TRUE(outcome.result.cancelled);
+  EXPECT_EQ(outcome.result.cancel_reason, "cancelled");
+
+  // The worker is healthy and free: a follow-up job completes.
+  JobHandle next = svc.submit(JobRequest{good_job("after-cancel")});
+  EXPECT_EQ(next.outcome.get().state, JobState::Completed);
+}
+
+TEST(JobCancellation, QueuedJobCancelsWithoutRunning) {
+  JobService svc(JobService::Options{1, 1024});
+  block_worker(svc, std::chrono::milliseconds(300));
+  JobHandle h = svc.submit(JobRequest{good_job("queued-cancel")});
+  ASSERT_TRUE(h.accepted());
+  EXPECT_TRUE(svc.cancel(h.id));
+  // Resolved by the canceller, not the worker: immediate.
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Cancelled);
+  EXPECT_EQ(outcome.error.code, JobErrorCode::CancelRequested);
+  EXPECT_FALSE(outcome.has_result);
+  EXPECT_EQ(svc.queued(), 0u);
+}
+
+TEST(JobCancellation, TimeToCancelHistogramRecords) {
+  obs::set_enabled(true);
+  obs::Histogram& h_ns = obs::Registry::global().histogram("service.job_cancel_ns");
+  const std::uint64_t before = h_ns.count();
+  JobService svc(JobService::Options{1, 1024});
+  block_worker(svc, std::chrono::milliseconds(50));
+  JobHandle h = svc.submit(JobRequest{good_job("timed-cancel")});
+  svc.cancel(h.id);
+  h.outcome.wait();
+  EXPECT_EQ(h_ns.count(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+
+TEST(JobDeadline, QueuedJobExpiresWithoutConstructingAnExecutor) {
+  JobService svc(JobService::Options{1, 1024});
+  const serve::BlockCache::Stats before = svc.cache_stats();
+  // The single worker is busy long past the deadline.
+  block_worker(svc, std::chrono::milliseconds(250));
+
+  JobRequest req{good_job("too-late")};
+  req.deadline = std::chrono::milliseconds(50);
+  JobHandle h = svc.submit(std::move(req));
+  ASSERT_TRUE(h.accepted());
+
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Expired);
+  EXPECT_EQ(outcome.error.code, JobErrorCode::DeadlineExpired);
+  EXPECT_FALSE(outcome.has_result);
+  EXPECT_EQ(svc.state(h.id), JobState::Expired);
+  // No executor, no model, no compilation: the shared cache saw no traffic.
+  const serve::BlockCache::Stats after = svc.cache_stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits);
+}
+
+TEST(JobDeadline, NegativeDeadlineExpiresAtSubmit) {
+  JobService svc(JobService::Options{1, 64});
+  JobRequest req{good_job("pre-expired")};
+  req.deadline = std::chrono::milliseconds(-5);
+  JobHandle h = svc.submit(std::move(req));
+  EXPECT_FALSE(h.accepted());
+  EXPECT_EQ(h.submit_state, JobState::Expired);
+  EXPECT_EQ(h.outcome.get().error.code, JobErrorCode::DeadlineExpired);
+}
+
+TEST(JobDeadline, GenerousDeadlineDoesNotDisturbTheRun) {
+  JobService svc(JobService::Options{1, 1024});
+  JobRequest req{good_job("plenty-of-time")};
+  req.deadline = std::chrono::minutes(10);
+  JobHandle h = svc.submit(std::move(req));
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Completed);
+  ASSERT_TRUE(outcome.has_result);
+  EXPECT_FALSE(outcome.result.cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Fair sharing across tenants
+
+TEST(JobFairShare, LightTenantIsNotStarvedByHeavyTenant) {
+  JobService svc(JobService::Options{1, 4096});
+  block_worker(svc, std::chrono::milliseconds(150));
+
+  // Tenant A floods 4 jobs, then tenant B submits one. Under the old FIFO
+  // deque B would wait behind all of A; under DRR it runs second.
+  std::vector<JobHandle> a_handles;
+  for (int i = 0; i < 4; ++i) {
+    SweepJob job = good_job("a" + std::to_string(i));
+    job.tenant = "tenant-a";
+    a_handles.push_back(svc.submit(JobRequest{std::move(job)}));
+  }
+  SweepJob bjob = good_job("b0");
+  bjob.tenant = "tenant-b";
+  JobHandle b = svc.submit(JobRequest{std::move(bjob)});
+
+  b.outcome.wait();
+  // The single worker dequeues A0, B0, A1, A2, A3 — when B resolves, A's
+  // last two jobs cannot even have been dequeued yet.
+  const auto ready = [](const JobHandle& h) {
+    return h.outcome.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  };
+  EXPECT_FALSE(ready(a_handles[2]) && ready(a_handles[3]));
+  for (JobHandle& h : a_handles) EXPECT_EQ(h.outcome.get().state, JobState::Completed);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(JobAdmission, QueueLimitIsExactAndDeterministic) {
+  JobService::Options opt;
+  opt.num_workers = 1;
+  opt.cache_capacity = 1024;
+  opt.max_queued_jobs = 2;
+  JobService svc(opt);
+  block_worker(svc, std::chrono::milliseconds(200));
+
+  JobHandle h1 = svc.submit(JobRequest{good_job("fits-1")});
+  JobHandle h2 = svc.submit(JobRequest{good_job("fits-2")});
+  EXPECT_TRUE(h1.accepted());
+  EXPECT_TRUE(h2.accepted());
+  EXPECT_EQ(svc.queued(), 2u);
+
+  // The third submit finds the queue at the limit — rejected, every time.
+  for (int i = 0; i < 3; ++i) {
+    JobHandle h3 = svc.submit(JobRequest{good_job("over")});
+    EXPECT_FALSE(h3.accepted());
+    EXPECT_EQ(h3.submit_state, JobState::Rejected);
+    EXPECT_EQ(h3.submit_error.code, JobErrorCode::QueueFull);
+  }
+
+  EXPECT_EQ(h1.outcome.get().state, JobState::Completed);
+  EXPECT_EQ(h2.outcome.get().state, JobState::Completed);
+  // With the queue drained, admission opens again.
+  JobHandle h4 = svc.submit(JobRequest{good_job("fits-again")});
+  EXPECT_TRUE(h4.accepted());
+  EXPECT_EQ(h4.outcome.get().state, JobState::Completed);
+}
+
+TEST(JobAdmission, RetryWithBackoffRidesOutQueuePressure) {
+  JobService::Options opt;
+  opt.num_workers = 1;
+  opt.cache_capacity = 1024;
+  opt.max_queued_jobs = 1;
+  JobService svc(opt);
+  block_worker(svc, std::chrono::milliseconds(400));
+  JobHandle occupant = svc.submit(JobRequest{good_job("occupant")});
+  ASSERT_TRUE(occupant.accepted());
+
+  // Free the slot shortly after the first retry attempt fails.
+  std::thread canceller([&svc, &occupant] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    svc.cancel(occupant.id);
+  });
+
+  JobService::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_delay = std::chrono::milliseconds(20);
+  JobHandle h = svc.submit_with_retry(JobRequest{good_job("patient")}, policy);
+  canceller.join();
+  EXPECT_TRUE(h.accepted());
+  EXPECT_EQ(h.outcome.get().state, JobState::Completed);
+}
+
+TEST(JobAdmission, ExhaustedRetriesReturnTheRejection) {
+  JobService::Options opt;
+  opt.num_workers = 1;
+  opt.cache_capacity = 1024;
+  opt.max_queued_jobs = 1;
+  JobService svc(opt);
+  block_worker(svc, std::chrono::milliseconds(300));
+  JobHandle occupant = svc.submit(JobRequest{good_job("occupant")});
+  ASSERT_TRUE(occupant.accepted());
+
+  JobService::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay = std::chrono::milliseconds(5);
+  JobHandle h = svc.submit_with_retry(JobRequest{good_job("gives-up")}, policy);
+  EXPECT_FALSE(h.accepted());
+  EXPECT_EQ(h.submit_error.code, JobErrorCode::QueueFull);
+  occupant.outcome.wait();
+}
+
+TEST(JobAdmission, PermanentRejectionsAreNotRetried) {
+  JobService svc(JobService::Options{1, 64});
+  SweepJob bad = good_job("permanent");
+  bad.config.engine = "warp";
+  JobService::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_delay = std::chrono::milliseconds(50);
+  const auto t0 = std::chrono::steady_clock::now();
+  JobHandle h = svc.submit_with_retry(JobRequest{std::move(bad)}, policy);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(h.submit_error.code, JobErrorCode::BadEngine);
+  // Returned on the first attempt — no backoff sleeps for a permanent code.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Failure isolation
+
+TEST(JobFailure, ThrowingRunFailsTheJobAndLeavesThePoolHealthy) {
+  JobService svc(JobService::Options{1, 1024});
+  // Passes validation (12 vertices, under the 14-qubit trajectory cap) but
+  // the ring's closure edge and chords route through physical qubits outside
+  // the pinned line, so the executor rejects the compiled program mid-run.
+  SweepJob bad = good_job("throws");
+  bad.instance = ring12();
+  bad.config.model.initial_layout = kLine12;
+  JobHandle h = svc.submit(JobRequest{std::move(bad)});
+  ASSERT_TRUE(h.accepted());
+
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Failed);
+  EXPECT_EQ(outcome.error.code, JobErrorCode::ExecutionFailed);
+  EXPECT_NE(outcome.error.message.find("too many active qubits"), std::string::npos);
+  EXPECT_FALSE(outcome.has_result);
+
+  // The worker survived and the shared block cache is not poisoned: a good
+  // job (including pulse compilation) completes right after.
+  SweepJob good = good_job("healthy");
+  good.kind = core::ModelKind::Hybrid;
+  JobHandle next = svc.submit(JobRequest{std::move(good)});
+  const JobOutcome ok = next.outcome.get();
+  EXPECT_EQ(ok.state, JobState::Completed);
+  ASSERT_TRUE(ok.has_result);
+  EXPECT_GT(ok.result.ar, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry (satellite: the queue-depth gauge stays correct on dequeue)
+
+TEST(JobQueueDepthGauge, ReturnsToZeroAfterDrain) {
+  obs::set_enabled(true);
+  obs::Gauge& depth = obs::Registry::global().gauge("service.queue_depth");
+  obs::Gauge& queued = obs::Registry::global().gauge("service.jobs_queued");
+
+  JobService svc(JobService::Options{1, 1024});
+  block_worker(svc, std::chrono::milliseconds(100));
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i)
+    handles.push_back(svc.submit(JobRequest{good_job("g" + std::to_string(i))}));
+  EXPECT_EQ(queued.value(), 3);
+  EXPECT_GE(depth.value(), 3);
+
+  for (JobHandle& h : handles) EXPECT_EQ(h.outcome.get().state, JobState::Completed);
+  EXPECT_EQ(queued.value(), 0);
+  // The gauge is updated on every dequeue (not just submit), so a drained
+  // service reports zero depth.
+  EXPECT_EQ(depth.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (exercised under TSan in CI)
+
+TEST(JobStress, ConcurrentCancelsAndQueriesResolveEveryFuture) {
+  JobService svc(JobService::Options{4, 4096});
+  std::vector<JobHandle> handles;
+  const char* tenants[] = {"red", "green", "blue"};
+  for (int i = 0; i < 12; ++i) {
+    SweepJob job = good_job("s" + std::to_string(i));
+    job.tenant = tenants[i % 3];
+    job.weight = 1.0 + (i % 2);
+    JobRequest req{std::move(job)};
+    if (i % 4 == 3) req.deadline = std::chrono::milliseconds(1 + i);
+    handles.push_back(svc.submit(std::move(req)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    for (std::size_t i = 0; i < handles.size(); i += 2) svc.cancel(handles[i].id);
+  });
+  std::thread prober([&] {
+    while (!stop.load()) {
+      for (const JobHandle& h : handles) (void)svc.state(h.id);
+      (void)svc.queued();
+      (void)svc.estimated_backlog_ns();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (JobHandle& h : handles) {
+    const JobOutcome outcome = h.outcome.get();  // every future resolves
+    EXPECT_TRUE(serve::job_state_terminal(outcome.state));
+  }
+  stop.store(true);
+  canceller.join();
+  prober.join();
+  svc.prune_finished();
+}

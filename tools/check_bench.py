@@ -3,7 +3,7 @@
 
 Compares the JSON files the bench smoke emits (BENCH_shotloop.json,
 BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json, BENCH_fusion.json,
-BENCH_obs.json)
+BENCH_obs.json, BENCH_jobs.json)
 against the committed baselines in bench/baselines/ and fails (exit 1) if:
 
   * any current file is missing or unparsable,
@@ -47,6 +47,7 @@ SPEEDUP_FIELDS = {
 # time): gated against a ceiling instead of a floor.
 OVERHEAD_FIELDS = {
     "BENCH_obs.json": ["overhead_ratio"],
+    "BENCH_jobs.json": ["overhead_ratio"],
 }
 BENCH_FILES = sorted(set(SPEEDUP_FIELDS) | set(OVERHEAD_FIELDS))
 
