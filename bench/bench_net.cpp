@@ -1,0 +1,224 @@
+// Wire-protocol overhead: the same 6-job grid trains (a) in process through
+// JobService::submit and (b) over a loopback TCP connection through the HGPN
+// front end (net::Server / net::Client), with identical serve::JobRequest
+// payloads — the wire run resolves the backend by name server-side. Reports
+// sequential submit→outcome latency percentiles for both paths plus the
+// wire/in-process wall-clock ratio on a concurrent batch, gated against
+// bench/baselines/BENCH_net.json; exits non-zero unless every wire outcome
+// is bit-identical to its in-process twin.
+//
+//   bench_net [workers]              (default 2)
+//   HGP_SHOTS / HGP_EVALS            scale the per-run budget (smoke mode)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "backend/presets.hpp"
+#include "bench_util.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/job.hpp"
+#include "serve/job_service.hpp"
+
+using namespace hgp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool same_double(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+bool same_doubles(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_double(a[i], b[i])) return false;
+  return true;
+}
+
+/// Bitwise result comparison — the wire round trip must not perturb a single
+/// mantissa bit anywhere in the training trace.
+bool same_result(const core::RunResult& a, const core::RunResult& b) {
+  return same_double(a.ar, b.ar) && same_double(a.final_cost, b.final_cost) &&
+         same_double(a.optimizer.value, b.optimizer.value) &&
+         a.optimizer.evaluations == b.optimizer.evaluations &&
+         same_doubles(a.optimizer.x, b.optimizer.x) &&
+         same_doubles(a.optimizer.history, b.optimizer.history);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  return xs[lo] + (xs[hi] - xs[lo]) * (rank - static_cast<double>(lo));
+}
+
+core::RunResult must_complete(serve::JobOutcome outcome, const char* where) {
+  if (outcome.state != serve::JobState::Completed) {
+    std::printf("%s: job ended %s: %s\n", where,
+                serve::job_state_name(outcome.state).c_str(),
+                outcome.error.message.c_str());
+    std::exit(1);
+  }
+  return std::move(outcome.result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t workers = argc > 1 ? std::stoul(argv[1]) : 2;
+
+  core::RunConfig base = benchutil::base_config();
+  base.executor_threads = 1;  // parallelism comes from the service pool here
+
+  // The bench_jobs grid: two copies of a 3-config sweep. Wire form — backend
+  // travels by preset name, run.dev stays null until the server resolves it.
+  std::vector<serve::JobRequest> grid;
+  for (int copy = 0; copy < 2; ++copy) {
+    const std::string tag = copy == 0 ? "/a" : "/b";
+    core::RunConfig cobyla = base;
+    grid.push_back({{"task1/gate/cobyla" + tag, graph::paper_task1(), nullptr,
+                     core::ModelKind::GateLevel, cobyla}});
+    core::RunConfig spsa = base;
+    spsa.optimizer = "spsa";
+    grid.push_back({{"task1/hybrid/spsa" + tag, graph::paper_task1(), nullptr,
+                     core::ModelKind::Hybrid, spsa}});
+    core::RunConfig nm = base;
+    nm.optimizer = "neldermead";
+    grid.push_back({{"task2/gate/neldermead" + tag, graph::paper_task2(), nullptr,
+                     core::ModelKind::GateLevel, nm}});
+  }
+  for (serve::JobRequest& request : grid) request.backend = "ibmq_toronto";
+
+  serve::JobService::Options service_options;
+  service_options.num_workers = workers;
+  service_options.cache_capacity = 8192;
+
+  benchutil::header("net::Server — HGPN wire front end vs in-process submission");
+  std::printf("%zu jobs, %zu workers, %zu shots, %d evals per run\n\n", grid.size(),
+              workers, base.shots, base.max_evaluations);
+
+  // ---- In-process reference: same JobRequest, dev pointer set locally. ----
+  const backend::FakeBackend dev = backend::make_toronto();
+  std::vector<core::RunResult> inproc;
+  std::vector<double> inproc_lat;
+  double inproc_batch_s = 0.0;
+  {
+    serve::JobService svc(service_options);
+    // Sequential round trips: submit→outcome latency per job.
+    for (const serve::JobRequest& request : grid) {
+      serve::JobRequest local = request;
+      local.run.dev = &dev;
+      const auto t0 = std::chrono::steady_clock::now();
+      serve::JobHandle handle = svc.submit(std::move(local));
+      inproc.push_back(must_complete(handle.outcome.get(), "inproc"));
+      inproc_lat.push_back(seconds_since(t0));
+    }
+    // Concurrent batch: throughput with the pool actually loaded.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<serve::JobHandle> handles;
+    for (const serve::JobRequest& request : grid) {
+      serve::JobRequest local = request;
+      local.run.dev = &dev;
+      handles.push_back(svc.submit(std::move(local)));
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i)
+      if (!same_result(must_complete(handles[i].outcome.get(), "inproc batch"),
+                       inproc[i])) {
+        std::printf("inproc batch result %zu diverged from sequential run\n", i);
+        return 1;
+      }
+    inproc_batch_s = seconds_since(t0);
+  }
+
+  // ---- Loopback wire path: same requests through net::Server/Client. ----
+  std::vector<core::RunResult> wire;
+  std::vector<double> wire_lat;
+  double wire_batch_s = 0.0;
+  {
+    net::Server::Options options;
+    options.service = service_options;
+    net::Server server(options);
+    net::Client client("127.0.0.1", server.port());
+
+    for (const serve::JobRequest& request : grid) {
+      const auto t0 = std::chrono::steady_clock::now();
+      net::Client::Submitted submitted = client.submit(request);
+      if (!submitted.accepted()) {
+        std::printf("wire submit rejected: %s\n", submitted.error.message.c_str());
+        return 1;
+      }
+      wire.push_back(must_complete(*client.await(submitted.id), "wire"));
+      wire_lat.push_back(seconds_since(t0));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<serve::JobId> ids;
+    for (const serve::JobRequest& request : grid) {
+      net::Client::Submitted submitted = client.submit(request);
+      if (!submitted.accepted()) {
+        std::printf("wire batch submit rejected: %s\n", submitted.error.message.c_str());
+        return 1;
+      }
+      ids.push_back(submitted.id);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      if (!same_result(must_complete(*client.await(ids[i]), "wire batch"), wire[i])) {
+        std::printf("wire batch result %zu diverged from sequential run\n", i);
+        return 1;
+      }
+    wire_batch_s = seconds_since(t0);
+
+    client.close();
+    server.stop();
+  }
+
+  bool identical = wire.size() == inproc.size();
+  for (std::size_t i = 0; identical && i < inproc.size(); ++i)
+    identical = same_result(wire[i], inproc[i]);
+
+  const double overhead = inproc_batch_s > 0.0 ? wire_batch_s / inproc_batch_s : 0.0;
+  const double inproc_rate =
+      inproc_batch_s > 0.0 ? static_cast<double>(grid.size()) / inproc_batch_s : 0.0;
+  const double wire_rate =
+      wire_batch_s > 0.0 ? static_cast<double>(grid.size()) / wire_batch_s : 0.0;
+
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    std::printf("  %-26s AR %.1f%%  (%d evals)\n", grid[i].run.label.c_str(),
+                100.0 * wire[i].ar, wire[i].optimizer.evaluations);
+  std::printf("\nlatency p50/p99: inproc %.1f/%.1f ms | wire %.1f/%.1f ms\n",
+              1e3 * percentile(inproc_lat, 0.50), 1e3 * percentile(inproc_lat, 0.99),
+              1e3 * percentile(wire_lat, 0.50), 1e3 * percentile(wire_lat, 0.99));
+  std::printf("batch: inproc %.3f s (%.1f jobs/s) | wire %.3f s (%.1f jobs/s)\n",
+              inproc_batch_s, inproc_rate, wire_batch_s, wire_rate);
+  std::printf("wire overhead %.3fx | bit-identical: %s\n", overhead,
+              identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_net.json");
+  json << "{\n"
+       << "  \"bench\": \"net\",\n"
+       << "  \"jobs\": " << grid.size() << ",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"shots\": " << base.shots << ",\n"
+       << "  \"evals\": " << base.max_evaluations << ",\n"
+       << "  \"inproc_p50_ms\": " << 1e3 * percentile(inproc_lat, 0.50) << ",\n"
+       << "  \"inproc_p99_ms\": " << 1e3 * percentile(inproc_lat, 0.99) << ",\n"
+       << "  \"wire_p50_ms\": " << 1e3 * percentile(wire_lat, 0.50) << ",\n"
+       << "  \"wire_p99_ms\": " << 1e3 * percentile(wire_lat, 0.99) << ",\n"
+       << "  \"inproc_batch_s\": " << inproc_batch_s << ",\n"
+       << "  \"wire_batch_s\": " << wire_batch_s << ",\n"
+       << "  \"inproc_jobs_per_s\": " << inproc_rate << ",\n"
+       << "  \"wire_jobs_per_s\": " << wire_rate << ",\n"
+       << "  \"overhead_ratio\": " << overhead << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_net.json\n");
+  return identical ? 0 : 1;
+}

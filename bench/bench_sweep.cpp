@@ -19,6 +19,7 @@
 
 #include "backend/presets.hpp"
 #include "bench_util.hpp"
+#include "serve/job.hpp"
 #include "serve/sweep.hpp"
 
 using namespace hgp;
@@ -44,18 +45,18 @@ int main(int argc, char** argv) {
   core::RunConfig base = benchutil::base_config();
   base.executor_threads = 1;  // parallelism comes from the sweep pool here
 
-  std::vector<serve::SweepJob> jobs;
+  std::vector<serve::JobRequest> jobs;
   core::RunConfig cobyla = base;
-  jobs.push_back({"task1/gate/cobyla", graph::paper_task1(), &dev,
-                  core::ModelKind::GateLevel, cobyla});
+  jobs.push_back({{"task1/gate/cobyla", graph::paper_task1(), &dev,
+                   core::ModelKind::GateLevel, cobyla}});
   core::RunConfig spsa = base;
   spsa.optimizer = "spsa";
-  jobs.push_back({"task1/hybrid/spsa", graph::paper_task1(), &dev,
-                  core::ModelKind::Hybrid, spsa});
+  jobs.push_back({{"task1/hybrid/spsa", graph::paper_task1(), &dev,
+                   core::ModelKind::Hybrid, spsa}});
   core::RunConfig nm = base;
   nm.optimizer = "neldermead";
-  jobs.push_back({"task2/gate/neldermead", graph::paper_task2(), &dev,
-                  core::ModelKind::GateLevel, nm});
+  jobs.push_back({{"task2/gate/neldermead", graph::paper_task2(), &dev,
+                   core::ModelKind::GateLevel, nm}});
 
   benchutil::header("serve::SweepRunner — batched evaluation service throughput");
   std::printf("%zu configs, %zu workers, %zu shots, %d evals per run\n\n", jobs.size(),
@@ -64,8 +65,9 @@ int main(int argc, char** argv) {
   // Sequential baseline: one run at a time, no shared service.
   const auto t_seq = std::chrono::steady_clock::now();
   std::vector<core::RunResult> sequential;
-  for (const serve::SweepJob& job : jobs)
-    sequential.push_back(core::run_qaoa(job.instance, *job.dev, job.kind, job.config));
+  for (const serve::JobRequest& request : jobs)
+    sequential.push_back(core::run_qaoa(request.run.instance, *request.run.dev,
+                                        request.run.kind, request.run.config));
   const double seq_s = seconds_since(t_seq);
 
   // The service: shared pool + shared compiled-block cache (persisted to
@@ -84,7 +86,7 @@ int main(int argc, char** argv) {
   const double speedup = par_s > 0.0 ? seq_s / par_s : 0.0;
 
   for (std::size_t i = 0; i < jobs.size(); ++i)
-    std::printf("  %-24s AR %.1f%%  (%d evals)\n", jobs[i].label.c_str(),
+    std::printf("  %-24s AR %.1f%%  (%d evals)\n", jobs[i].run.label.c_str(),
                 100.0 * parallel[i].ar, parallel[i].optimizer.evaluations);
   std::printf("\nsequential %.3f s | sweep %.3f s | speedup %.2fx | bit-identical: %s\n",
               seq_s, par_s, speedup, identical ? "yes" : "NO");

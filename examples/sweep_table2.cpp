@@ -12,6 +12,7 @@
 
 #include "backend/presets.hpp"
 #include "common/table.hpp"
+#include "serve/job.hpp"
 #include "serve/sweep.hpp"
 
 int main(int argc, char** argv) {
@@ -29,14 +30,15 @@ int main(int argc, char** argv) {
   std::printf("== %s on %s: %zu-worker sweep ==\n", instance.name.c_str(),
               dev.name().c_str(), workers);
 
-  std::vector<serve::SweepJob> jobs;
+  std::vector<serve::JobRequest> jobs;
   for (const auto kind : {core::ModelKind::GateLevel, core::ModelKind::Hybrid}) {
     for (const std::string optimizer : {"cobyla", "spsa", "neldermead"}) {
       core::RunConfig cfg;
       cfg.max_evaluations = evals;
       cfg.optimizer = optimizer;
       cfg.executor_threads = 1;  // the sweep pool provides the parallelism
-      jobs.push_back({core::model_name(kind) + "/" + optimizer, instance, &dev, kind, cfg});
+      jobs.push_back(
+          {{core::model_name(kind) + "/" + optimizer, instance, &dev, kind, cfg}});
     }
   }
 
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
 
   Table table({"run", "AR", "evals", "converged@", "makespan (dt)"});
   for (std::size_t i = 0; i < jobs.size(); ++i)
-    table.add_row({jobs[i].label, Table::pct(results[i].ar),
+    table.add_row({jobs[i].run.label, Table::pct(results[i].ar),
                    std::to_string(results[i].optimizer.evaluations),
                    std::to_string(results[i].iterations_to_converge),
                    std::to_string(results[i].makespan_dt)});

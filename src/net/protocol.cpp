@@ -1,0 +1,94 @@
+#include "net/protocol.hpp"
+
+#include <array>
+
+namespace hgp::net {
+
+const std::string& wire_status_name(WireStatus status) {
+  static const std::array<std::string, 10> names = {
+      "ok",           "eof",          "bad_magic",      "bad_version",
+      "frame_too_large", "bad_checksum", "bad_payload",    "hello_required",
+      "unauthenticated", "unknown_type"};
+  static const std::string unknown = "unknown";
+  const auto i = static_cast<std::size_t>(status);
+  return i < names.size() ? names[i] : unknown;
+}
+
+bool wire_status_recoverable(WireStatus status) {
+  switch (status) {
+    case WireStatus::Ok:
+    case WireStatus::BadChecksum:
+    case WireStatus::BadPayload:
+    case WireStatus::HelloRequired:
+    case WireStatus::Unauthenticated:
+    case WireStatus::UnknownType:
+      return true;
+    case WireStatus::Eof:
+    case WireStatus::BadMagic:
+    case WireStatus::BadVersion:
+    case WireStatus::FrameTooLarge:
+      return false;
+  }
+  return false;
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  io::Writer w(out);
+  w.u32(kMagic);
+  w.u32(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(io::fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+ReadResult read_frame(Socket& sock, std::size_t max_frame_bytes) {
+  ReadResult result;
+  char header[kFrameHeaderBytes];
+  if (!sock.read_exact(header, sizeof header)) {
+    result.status = WireStatus::Eof;
+    return result;
+  }
+  io::Reader r(header, sizeof header);
+  std::uint32_t magic = 0, version = 0, length = 0;
+  std::uint8_t type = 0;
+  std::uint64_t checksum = 0;
+  r.u32(magic);
+  r.u32(version);
+  r.u8(type);
+  r.u32(length);
+  r.u64(checksum);
+  if (magic != kMagic) {
+    result.status = WireStatus::BadMagic;
+    return result;
+  }
+  if (version != kProtocolVersion) {
+    result.status = WireStatus::BadVersion;
+    return result;
+  }
+  if (length > max_frame_bytes) {
+    result.status = WireStatus::FrameTooLarge;
+    return result;
+  }
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.payload.resize(length);
+  if (length > 0 && !sock.read_exact(result.frame.payload.data(), length))
+    throw NetError("connection closed mid-frame payload");
+  if (io::fnv1a(result.frame.payload) != checksum) {
+    // The length prefix was honored, so the stream stays frame-aligned;
+    // drop the corrupt payload and let the session continue.
+    result.frame.payload.clear();
+    result.status = WireStatus::BadChecksum;
+    return result;
+  }
+  return result;
+}
+
+void write_frame(Socket& sock, FrameType type, const std::string& payload) {
+  sock.write_all(encode_frame(type, payload));
+}
+
+}  // namespace hgp::net

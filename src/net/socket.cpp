@@ -1,0 +1,161 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hgp::net {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw NetError("invalid IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::write_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(errno_message("send failed"));
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+bool Socket::read_exact(void* out, std::size_t n) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(errno_message("recv failed"));
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw NetError("connection closed mid-frame (" + std::to_string(got) + "/" +
+                     std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::size_t Socket::peek(void* out, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, out, n, MSG_PEEK);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(errno_message("recv(MSG_PEEK) failed"));
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
+std::size_t Socket::read_some(void* out, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, out, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(errno_message("recv failed"));
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
+void Socket::set_no_delay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(errno_message("socket failed"));
+  Socket sock(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) break;
+    if (errno == EINTR) continue;
+    throw NetError(errno_message("connect to " + host + ":" + std::to_string(port) +
+                                 " failed"));
+  }
+  sock.set_no_delay();
+  return sock;
+}
+
+ListenSocket ListenSocket::open(const std::string& host, std::uint16_t port, int backlog) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(errno_message("socket failed"));
+  ListenSocket listener;
+  listener.sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw NetError(errno_message("bind to " + host + ":" + std::to_string(port) +
+                                 " failed"));
+  if (::listen(fd, backlog) != 0) throw NetError(errno_message("listen failed"));
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw NetError(errno_message("getsockname failed"));
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Socket ListenSocket::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      s.set_no_delay();
+      return s;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF after shutdown(): the listener is being torn down.
+    return Socket();
+  }
+}
+
+void ListenSocket::shutdown() { sock_.shutdown_both(); }
+
+}  // namespace hgp::net

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hgp::net {
+
+/// Transport-layer failure: connect refused, peer reset, write on a closed
+/// socket. Protocol-layer problems (bad frames, rejected requests) are
+/// *statuses*, not exceptions — see net/protocol.hpp.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+/// RAII wrapper over one connected POSIX TCP socket. Blocking I/O; a peer
+/// (or Server::stop) unblocks a reader with shutdown_both(). Writes use
+/// MSG_NOSIGNAL so a vanished peer surfaces as a NetError, never SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write the whole buffer (retrying short writes); NetError on failure.
+  void write_all(const void* data, std::size_t n);
+  void write_all(const std::string& bytes) { write_all(bytes.data(), bytes.size()); }
+
+  /// Read exactly n bytes. False on clean EOF *before the first byte*;
+  /// NetError on an error or an EOF that cuts the buffer mid-way.
+  bool read_exact(void* out, std::size_t n);
+
+  /// Peek up to n bytes without consuming them (MSG_PEEK); blocks until at
+  /// least one byte or EOF. Returns bytes seen (0 = EOF).
+  std::size_t peek(void* out, std::size_t n);
+
+  /// Read up to n bytes (one recv). Returns bytes read (0 = EOF).
+  std::size_t read_some(void* out, std::size_t n);
+
+  /// Disable Nagle's algorithm — the protocol is small request/response
+  /// frames, where coalescing only adds latency.
+  void set_no_delay();
+
+  /// Wake any thread blocked in read/write on this socket (their calls
+  /// return EOF/error). Safe to call from another thread; close() is not.
+  void shutdown_both();
+
+  void close();
+
+  /// Blocking TCP connect; NetError on failure.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. Binding port 0 picks an ephemeral port, reported by
+/// port() — how the tests and benches run loopback servers without
+/// colliding.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+
+  /// Bind + listen on host:port with SO_REUSEADDR; NetError on failure.
+  static ListenSocket open(const std::string& host, std::uint16_t port, int backlog = 64);
+
+  bool valid() const { return sock_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocking accept. An invalid Socket means the listener was shut down.
+  Socket accept();
+
+  /// Unblock a pending accept() (it returns an invalid Socket).
+  void shutdown();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace hgp::net

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/binio.hpp"
 #include "common/cancel.hpp"
 #include "core/workflow.hpp"
 #include "serve/sweep.hpp"
@@ -82,6 +83,14 @@ struct JobError {
 
 /// What a client submits: the run itself plus job-layer metadata. Tenant,
 /// priority, and fair-share weight ride on the SweepJob.
+///
+/// This struct is *the* submission API — JobService::submit,
+/// SweepRunner::submit, and the net::Server wire front end all accept it —
+/// and it is the unit of the versioned wire schema: serialize() emits a
+/// kSchemaVersion-stamped binio payload a peer deserializes bit-exactly
+/// (doubles travel as IEEE-754 bit patterns), so a request submitted over a
+/// socket trains the same run, to the bit, as the same request submitted
+/// in process. validate_job runs identically on both sides of the wire.
 struct JobRequest {
   SweepJob run;
   /// Soft deadline measured from submission (0 = none). A queued job whose
@@ -89,6 +98,23 @@ struct JobRequest {
   /// running job observes it through its CancelToken at the next
   /// batch/lane-group checkpoint.
   std::chrono::milliseconds deadline{0};
+  /// Backend preset name for transport: SweepJob::dev is a non-owning
+  /// pointer that cannot cross a socket, so serialize() writes
+  /// `run.dev->name()` (or this field when dev is null) and deserialize()
+  /// leaves dev null with the name here — the receiving side resolves it
+  /// against its own preset registry (see net::Server) before submitting.
+  std::string backend;
+
+  /// Version stamp leading every serialized request/outcome. Bump on any
+  /// layout change; deserialize() rejects versions it does not speak, so a
+  /// newer peer degrades to a structured error instead of misparsing.
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  void serialize(io::Writer& w) const;
+  std::string serialize() const;
+  /// False (out untouched beyond partial writes) on truncation, a version
+  /// mismatch, or any malformed field. Never throws.
+  static bool deserialize(io::Reader& r, JobRequest& out);
 };
 
 /// Terminal report of one job, delivered through JobHandle::outcome. The
@@ -104,6 +130,13 @@ struct JobOutcome {
   /// Submit-to-dequeue and dequeue-to-terminal wall time.
   std::uint64_t wait_ns = 0;
   std::uint64_t run_ns = 0;
+
+  /// Wire schema counterpart of JobRequest::serialize — same version stamp,
+  /// same bit-exactness contract (a RunResult round-trips with every double
+  /// preserved bit for bit).
+  void serialize(io::Writer& w) const;
+  std::string serialize() const;
+  static bool deserialize(io::Reader& r, JobOutcome& out);
 };
 
 /// The job record: identity, scheduling metadata, lifecycle state, and the

@@ -41,7 +41,9 @@ JobHandle settled_handle(JobId id, JobState state, JobError error) {
 JobService::JobService(Options options)
     : options_(options),
       service_(EvalService::Options{options.num_workers, options.cache_capacity,
-                                    std::move(options.block_store_path)}) {
+                                    std::move(options.block_store_path),
+                                    options.min_workers, options.max_workers,
+                                    options.adapt_interval}) {
   obs::Registry& reg = obs::Registry::global();
   metrics_.accepted = &reg.counter("service.jobs_accepted");
   metrics_.rejected = &reg.counter("service.jobs_rejected");
@@ -228,6 +230,16 @@ void JobService::run_job(const std::shared_ptr<Job>& job) {
   const std::uint64_t wait_ns = ns_since(job->submitted_at);
   const CancelToken& token = *job->token();
 
+  // Dequeue-time deadline check, independent of the token poll below: a job
+  // whose deadline expired while it sat in the queue — even between
+  // expire_overdue() sweeps — must never construct an executor. The explicit
+  // clock comparison keeps that guarantee even if the token's deadline arm
+  // and this dequeue race on the same tick.
+  const std::chrono::milliseconds deadline = job->request().deadline;
+  if (deadline.count() > 0 &&
+      std::chrono::steady_clock::now() >= job->submitted_at + deadline)
+    token.cancel(CancelReason::DeadlineExpired);
+
   // Pre-run checkpoint: a job whose deadline passed (or that was cancelled)
   // while it waited in the queue terminates here — no executor, no model, no
   // shot is ever constructed for it.
@@ -325,7 +337,43 @@ std::optional<JobState> JobService::state(JobId id) const {
   return job->state();
 }
 
+std::optional<std::shared_future<JobOutcome>> JobService::outcome(JobId id) const {
+  const std::shared_ptr<Job> job = find(id);
+  if (!job) return std::nullopt;
+  return job->outcome();
+}
+
+std::size_t JobService::expire_overdue() {
+  // Snapshot under the lock, resolve outside it: finish() takes jobs_mutex_
+  // through note_queued_delta.
+  std::vector<std::shared_ptr<Job>> overdue;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    for (const auto& [id, job] : jobs_) {
+      const std::chrono::milliseconds deadline = job->request().deadline;
+      if (deadline.count() > 0 && job->state() == JobState::Queued &&
+          now >= job->submitted_at + deadline)
+        overdue.push_back(job);
+    }
+  }
+  std::size_t expired = 0;
+  for (const std::shared_ptr<Job>& job : overdue) {
+    job->token()->cancel(CancelReason::DeadlineExpired);
+    JobOutcome outcome;
+    outcome.state = JobState::Expired;
+    outcome.error = JobError{JobErrorCode::DeadlineExpired,
+                             job->request().run.label + ": deadline passed while queued"};
+    outcome.wait_ns = ns_since(job->submitted_at);
+    if (finish(job, JobState::Queued, std::move(outcome))) ++expired;
+    // Lost the race to a worker dequeuing it: run_job's own deadline check
+    // (which saw the token we just fired) resolves it Expired instead.
+  }
+  return expired;
+}
+
 std::size_t JobService::prune_finished() {
+  expire_overdue();
   const std::lock_guard<std::mutex> lock(jobs_mutex_);
   std::size_t dropped = 0;
   for (auto it = jobs_.begin(); it != jobs_.end();) {

@@ -36,6 +36,12 @@ class JobService {
     std::size_t cache_capacity = 8192;
     /// Non-empty = persistent compiled-block store shared by every job.
     std::string block_store_path;
+    /// Adaptive worker pool (see EvalService::Options): when max_workers > 0
+    /// the pool grows toward max_workers while jobs queue up and retires
+    /// idle workers toward min_workers. 0 = fixed pool.
+    std::size_t min_workers = 1;
+    std::size_t max_workers = 0;
+    std::chrono::milliseconds adapt_interval{25};
     /// Admission control: maximum jobs waiting in the queue. A submit that
     /// finds the queue at the limit is rejected with QueueFull —
     /// deterministically, the limit is exact, not advisory. 0 = unbounded.
@@ -86,6 +92,20 @@ class JobService {
   /// Current lifecycle state (nullopt for unknown or pruned ids).
   std::optional<JobState> state(JobId id) const;
 
+  /// The job's outcome future by id (nullopt for unknown or pruned ids).
+  /// This is how a party that did not submit the job — a reconnected wire
+  /// client whose original session died mid-run — waits for or fetches the
+  /// terminal outcome: the job keeps running when its submitter vanishes,
+  /// and the outcome is retained here until prune_finished() drops it.
+  std::optional<std::shared_future<JobOutcome>> outcome(JobId id) const;
+
+  /// Expire every queued job whose soft deadline has passed, without waiting
+  /// for a worker to dequeue it: the queue slot frees immediately (admission
+  /// control stops counting it) and the future resolves Expired. run_job
+  /// performs the same check at dequeue time, so even between sweeps an
+  /// overdue job never constructs an executor. Returns how many expired.
+  std::size_t expire_overdue();
+
   /// Jobs currently in the Queued state (admission control's view).
   std::size_t queued() const;
 
@@ -94,7 +114,8 @@ class JobService {
   std::uint64_t estimated_backlog_ns() const;
 
   /// Drop terminal jobs from the registry (their futures stay valid — the
-  /// shared state lives in the handle). Returns how many were dropped.
+  /// shared state lives in the handle), after first expiring any queued job
+  /// whose deadline passed. Returns how many were dropped.
   std::size_t prune_finished();
 
   EvalService& service() { return service_; }

@@ -1,6 +1,7 @@
 #include "serve/sweep.hpp"
 
 #include "obs/trace.hpp"
+#include "serve/job.hpp"
 #include "serve/job_validation.hpp"
 
 namespace hgp::serve {
@@ -13,7 +14,25 @@ SweepRunner::SweepRunner(Options options)
   job_ns_ = &reg.histogram("sweep.job_ns");
 }
 
+std::future<core::RunResult> SweepRunner::submit(JobRequest request) {
+  return submit_job(std::move(request.run));
+}
+
+std::vector<core::RunResult> SweepRunner::run_all(std::vector<JobRequest> requests) {
+  std::vector<std::future<core::RunResult>> futures;
+  futures.reserve(requests.size());
+  for (JobRequest& request : requests) futures.push_back(submit(std::move(request)));
+  std::vector<core::RunResult> out;
+  out.reserve(futures.size());
+  for (std::future<core::RunResult>& f : futures) out.push_back(f.get());
+  return out;
+}
+
 std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
+  return submit_job(std::move(job));
+}
+
+std::future<core::RunResult> SweepRunner::submit_job(SweepJob job) {
   // Reject malformed requests (null backend, oversized register, unknown
   // engine/optimizer, ...) before any executor is constructed. The caller
   // gets a failed future with the structured code rather than a crash deep
@@ -50,7 +69,7 @@ std::future<core::RunResult> SweepRunner::submit(SweepJob job) {
 std::vector<core::RunResult> SweepRunner::run_all(std::vector<SweepJob> jobs) {
   std::vector<std::future<core::RunResult>> futures;
   futures.reserve(jobs.size());
-  for (SweepJob& job : jobs) futures.push_back(submit(std::move(job)));
+  for (SweepJob& job : jobs) futures.push_back(submit_job(std::move(job)));
   std::vector<core::RunResult> out;
   out.reserve(futures.size());
   for (std::future<core::RunResult>& f : futures) out.push_back(f.get());

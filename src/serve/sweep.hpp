@@ -12,6 +12,8 @@
 
 namespace hgp::serve {
 
+struct JobRequest;  // serve/job.hpp — the unified submission API
+
 /// One cell of a sweep grid (a Table II cell, a Fig. 5/6 ablation bar): a
 /// full machine-in-loop training run. `dev` is non-owning — keep the backend
 /// alive until the sweep finishes.
@@ -57,9 +59,22 @@ class SweepRunner {
   /// default (0) RunConfig::executor_threads is forced to 1 — the pool is
   /// the parallelism; nesting a shot pool per worker would oversubscribe.
   /// Do not block on sweep futures from inside another pool job.
-  std::future<core::RunResult> submit(SweepJob job);
+  ///
+  /// JobRequest is the one submission schema shared with JobService::submit
+  /// and the net wire front end (request.run carries the SweepJob). This is
+  /// the raw future API: the job-layer fields JobService interprets
+  /// (deadline) are ignored here, and run.dev must be set — the backend
+  /// *name* field exists for wire transport, where net::Server resolves it.
+  std::future<core::RunResult> submit(JobRequest request);
 
-  /// Queue all jobs, wait, and return results in submission order.
+  /// Queue all requests, wait, and return results in submission order.
+  std::vector<core::RunResult> run_all(std::vector<JobRequest> requests);
+
+  /// Pre-JobRequest per-field overloads, kept as thin adapters so old call
+  /// sites keep compiling (with a warning) while they migrate.
+  [[deprecated("wrap the SweepJob in a serve::JobRequest — the unified submission API")]]
+  std::future<core::RunResult> submit(SweepJob job);
+  [[deprecated("wrap the SweepJobs in serve::JobRequests — the unified submission API")]]
   std::vector<core::RunResult> run_all(std::vector<SweepJob> jobs);
 
   EvalService& service() { return service_; }
@@ -68,6 +83,9 @@ class SweepRunner {
   BlockCache::Stats cache_stats() const { return service_.cache_stats(); }
 
  private:
+  /// Shared implementation behind both overload families.
+  std::future<core::RunResult> submit_job(SweepJob job);
+
   EvalService service_;
   /// "sweep.*" series: jobs completed and per-job wall-clock latency.
   obs::Counter* jobs_completed_;

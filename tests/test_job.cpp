@@ -225,7 +225,7 @@ TEST(JobValidation, SweepRunnerReturnsFailedFutureInsteadOfCrashing) {
   serve::SweepRunner runner(serve::SweepRunner::Options{1, 64});
   SweepJob job = good_job("null-dev");
   job.dev = nullptr;  // used to be a hard HGP_REQUIRE (or worse, a segfault)
-  std::future<core::RunResult> f = runner.submit(std::move(job));
+  std::future<core::RunResult> f = runner.submit(serve::JobRequest{std::move(job)});
   try {
     f.get();
     FAIL() << "expected JobValidationError";
@@ -564,6 +564,68 @@ TEST(JobDeadline, GenerousDeadlineDoesNotDisturbTheRun) {
   EXPECT_EQ(outcome.state, JobState::Completed);
   ASSERT_TRUE(outcome.has_result);
   EXPECT_FALSE(outcome.result.cancelled);
+}
+
+TEST(JobDeadline, ExpireOverdueSweepsQueuedJobsWithoutAWorker) {
+  // Even with every worker pinned (so nothing ever dequeues), a sweep must
+  // expire overdue queued jobs: the future resolves, the queue count drops,
+  // and admission control stops charging for the corpse.
+  JobService svc(JobService::Options{1, 1024});
+  block_worker(svc, std::chrono::milliseconds(300));
+
+  JobRequest req{good_job("swept")};
+  req.deadline = std::chrono::milliseconds(20);
+  JobHandle h = svc.submit(std::move(req));
+  ASSERT_TRUE(h.accepted());
+  EXPECT_EQ(svc.queued(), 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(svc.state(h.id), JobState::Queued);  // nothing swept it yet
+  EXPECT_EQ(svc.expire_overdue(), 1u);
+  EXPECT_EQ(svc.state(h.id), JobState::Expired);
+  EXPECT_EQ(svc.queued(), 0u);
+  const JobOutcome outcome = h.outcome.get();
+  EXPECT_EQ(outcome.state, JobState::Expired);
+  EXPECT_EQ(outcome.error.code, JobErrorCode::DeadlineExpired);
+  EXPECT_EQ(svc.expire_overdue(), 0u);  // idempotent: already terminal
+}
+
+TEST(JobDeadline, PruneFinishedExpiresOverdueQueuedJobsFirst) {
+  JobService svc(JobService::Options{1, 1024});
+  block_worker(svc, std::chrono::milliseconds(300));
+  JobRequest req{good_job("pruned")};
+  req.deadline = std::chrono::milliseconds(20);
+  JobHandle h = svc.submit(std::move(req));
+  ASSERT_TRUE(h.accepted());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // prune_finished sweeps the overdue job to Expired, then drops it (it is
+  // terminal now) — the handle's future stays valid.
+  EXPECT_GE(svc.prune_finished(), 1u);
+  EXPECT_FALSE(svc.state(h.id).has_value());
+  EXPECT_EQ(h.outcome.get().state, JobState::Expired);
+}
+
+// ---------------------------------------------------------------------------
+// Outcome retention for parties that did not submit
+
+TEST(JobOutcomeAccessor, OutcomeByIdServesNonSubmittingClients) {
+  JobService svc(JobService::Options{1, 1024});
+  JobHandle h = svc.submit(JobRequest{good_job("retained")});
+  ASSERT_TRUE(h.accepted());
+
+  // A party that only knows the id (a reconnected wire session) can fetch
+  // the same shared future and see the same terminal outcome.
+  const auto future = svc.outcome(h.id);
+  ASSERT_TRUE(future.has_value());
+  const JobOutcome via_accessor = future->get();
+  const JobOutcome via_handle = h.outcome.get();
+  EXPECT_EQ(via_accessor.state, JobState::Completed);
+  EXPECT_EQ(via_accessor.state, via_handle.state);
+  EXPECT_EQ(via_accessor.result.optimizer.value, via_handle.result.optimizer.value);
+
+  EXPECT_FALSE(svc.outcome(999999).has_value());
+  svc.prune_finished();
+  EXPECT_FALSE(svc.outcome(h.id).has_value());  // pruned ids are gone
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "graph/instances.hpp"
 #include "serve/block_cache.hpp"
 #include "serve/eval_service.hpp"
+#include "serve/job.hpp"
 #include "serve/sweep.hpp"
 
 using namespace hgp;
@@ -287,24 +288,25 @@ TEST(Serve, RunQaoaBitIdenticalForAnyWorkerCount) {
 
 TEST(Serve, SweepMatchesSequentialExecutionBitExactly) {
   const backend::FakeBackend& dev = toronto();
-  std::vector<serve::SweepJob> jobs;
-  jobs.push_back({"t1-gate-cobyla", graph::paper_task1(), &dev, core::ModelKind::GateLevel,
-                  tiny_config("cobyla")});
-  jobs.push_back({"t1-hybrid-spsa", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
-                  tiny_config("spsa")});
-  jobs.push_back({"t2-gate-nm", graph::paper_task2(), &dev, core::ModelKind::GateLevel,
-                  tiny_config("neldermead")});
+  std::vector<serve::JobRequest> jobs;
+  jobs.push_back({{"t1-gate-cobyla", graph::paper_task1(), &dev,
+                   core::ModelKind::GateLevel, tiny_config("cobyla")}});
+  jobs.push_back({{"t1-hybrid-spsa", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                   tiny_config("spsa")}});
+  jobs.push_back({{"t2-gate-nm", graph::paper_task2(), &dev, core::ModelKind::GateLevel,
+                   tiny_config("neldermead")}});
 
   std::vector<core::RunResult> sequential;
-  for (const serve::SweepJob& job : jobs)
-    sequential.push_back(core::run_qaoa(job.instance, *job.dev, job.kind, job.config));
+  for (const serve::JobRequest& request : jobs)
+    sequential.push_back(core::run_qaoa(request.run.instance, *request.run.dev,
+                                        request.run.kind, request.run.config));
 
   serve::SweepRunner runner(serve::SweepRunner::Options{4, 4096});
   const std::vector<core::RunResult> parallel = runner.run_all(jobs);
 
   ASSERT_EQ(parallel.size(), sequential.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    SCOPED_TRACE(jobs[i].label);
+    SCOPED_TRACE(jobs[i].run.label);
     expect_same_result(parallel[i], sequential[i]);
   }
   // The whole grid shares one compiled-block cache: re-bound blocks across
@@ -319,11 +321,11 @@ TEST(Serve, ConcurrentSweepSharesCompiledPulseMixers) {
   // shared cache compiled by the first — the cross-run sharing the per-kind
   // stats exist to make visible.
   const backend::FakeBackend& dev = toronto();
-  std::vector<serve::SweepJob> jobs;
-  jobs.push_back({"hybrid-a", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
-                  tiny_config("cobyla")});
-  jobs.push_back({"hybrid-b", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
-                  tiny_config("cobyla")});
+  std::vector<serve::JobRequest> jobs;
+  jobs.push_back({{"hybrid-a", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                   tiny_config("cobyla")}});
+  jobs.push_back({{"hybrid-b", graph::paper_task1(), &dev, core::ModelKind::Hybrid,
+                   tiny_config("cobyla")}});
 
   serve::SweepRunner runner(serve::SweepRunner::Options{2, 4096});
   const std::vector<core::RunResult> results = runner.run_all(jobs);

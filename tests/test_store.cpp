@@ -20,6 +20,7 @@
 #include "pulsesim/simulator.hpp"
 #include "serve/block_cache.hpp"
 #include "serve/block_store.hpp"
+#include "serve/job.hpp"
 #include "serve/sweep.hpp"
 
 using namespace hgp;
@@ -421,12 +422,12 @@ TEST(BlockStore, ConcurrentSweepWriteThroughProducesLoadableStore) {
   // a later sweep to bit-identical results.
   const std::string path = store_path("sweep");
   const graph::Instance inst = graph::paper_task1();
-  std::vector<serve::SweepJob> jobs;
+  std::vector<serve::JobRequest> jobs;
   for (const char* optimizer : {"cobyla", "spsa", "neldermead"}) {
-    serve::SweepJob job{std::string("job/") + optimizer, inst, &toronto(),
-                        core::ModelKind::Hybrid, tiny_config()};
-    job.config.optimizer = optimizer;
-    jobs.push_back(std::move(job));
+    serve::JobRequest request{{std::string("job/") + optimizer, inst, &toronto(),
+                               core::ModelKind::Hybrid, tiny_config()}};
+    request.run.config.optimizer = optimizer;
+    jobs.push_back(std::move(request));
   }
 
   serve::SweepRunner::Options opts;

@@ -3,7 +3,7 @@
 
 Compares the JSON files the bench smoke emits (BENCH_shotloop.json,
 BENCH_sweep.json, BENCH_pulse.json, BENCH_gradient.json, BENCH_fusion.json,
-BENCH_obs.json, BENCH_jobs.json)
+BENCH_obs.json, BENCH_jobs.json, BENCH_net.json)
 against the committed baselines in bench/baselines/ and fails (exit 1) if:
 
   * any current file is missing or unparsable,
@@ -44,10 +44,12 @@ SPEEDUP_FIELDS = {
     "BENCH_fusion.json": ["shotloop_speedup", "batch_speedup"],
 }
 # Ratio fields where *lower* is better (telemetry-on / telemetry-off run
-# time): gated against a ceiling instead of a floor.
+# time; wire / in-process wall clock): gated against a ceiling instead of a
+# floor.
 OVERHEAD_FIELDS = {
     "BENCH_obs.json": ["overhead_ratio"],
     "BENCH_jobs.json": ["overhead_ratio"],
+    "BENCH_net.json": ["overhead_ratio"],
 }
 BENCH_FILES = sorted(set(SPEEDUP_FIELDS) | set(OVERHEAD_FIELDS))
 
